@@ -1,0 +1,148 @@
+// Command pmblade-bench is the micro-benchmark driver (the paper's
+// benchmark_kv, its extension of RocksDB's db_bench): basic key-value
+// benchmarks plus record-table and index-table workloads on the database
+// layer.
+//
+// Examples:
+//
+//	pmblade-bench -bench fillseq -n 100000
+//	pmblade-bench -bench fillrandom -n 100000 -value 1024
+//	pmblade-bench -bench readrandom -n 50000
+//	pmblade-bench -bench indextable -n 20000
+//	pmblade-bench -bench scan -n 1000 -scanlen 100
+//	pmblade-bench -system rocksdb -bench fillrandom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"pmblade"
+	"pmblade/internal/clock"
+	"pmblade/internal/experiments"
+)
+
+func main() {
+	bench := flag.String("bench", "fillrandom", "fillseq | fillrandom | readrandom | readwrite | scan | indextable")
+	n := flag.Int("n", 50000, "operation count")
+	valueSize := flag.Int("value", 256, "value size in bytes")
+	scanLen := flag.Int("scanlen", 100, "entries per scan")
+	system := flag.String("system", "pmblade", "pmblade | pmblade-pm | pmblade-ssd | rocksdb")
+	pmMB := flag.Int64("pm", 256, "PM capacity in MiB")
+	realistic := flag.Bool("realistic", true, "use calibrated device latency models")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+	clock.Calibrate()
+
+	sysName := map[string]string{
+		"pmblade":     experiments.SysPMBlade,
+		"pmblade-pm":  experiments.SysPMBladePM,
+		"pmblade-ssd": experiments.SysPMBladeSSD,
+		"rocksdb":     experiments.SysRocksDB,
+	}[*system]
+	if sysName == "" {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(1)
+	}
+	cfg := experiments.SystemConfig(sysName, experiments.EngineParams{
+		PMCapacity:    *pmMB << 20,
+		MemtableBytes: 4 << 20,
+		Realistic:     *realistic,
+	})
+	db, err := pmblade.OpenEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(*seed))
+	val := make([]byte, *valueSize)
+	rng.Read(val)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%012d", i)) }
+
+	start := time.Now()
+	ops := *n
+	switch *bench {
+	case "fillseq":
+		for i := 0; i < ops; i++ {
+			must(db.Put(key(i), val))
+		}
+	case "fillrandom":
+		for i := 0; i < ops; i++ {
+			must(db.Put(key(rng.Intn(ops)), val))
+		}
+	case "readrandom":
+		for i := 0; i < ops; i++ {
+			must(db.Put(key(i), val))
+		}
+		must(db.Flush())
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			if _, _, err := db.Get(key(rng.Intn(ops))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "readwrite":
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 {
+				must(db.Put(key(rng.Intn(ops)), val))
+			} else if _, _, err := db.Get(key(rng.Intn(ops))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "scan":
+		for i := 0; i < 50000; i++ {
+			must(db.Put(key(i), val))
+		}
+		must(db.Flush())
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			lo := rng.Intn(50000)
+			if _, err := db.Scan(key(lo), nil, *scanLen); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "indextable":
+		// The paper's extension: record tables + secondary-index tables.
+		tbl := db.Table(1)
+		for i := 0; i < ops; i++ {
+			pk := []byte(fmt.Sprintf("pk-%010d", i))
+			must(tbl.InsertRow(pk, val))
+			must(tbl.AddIndexEntry(1, []byte(fmt.Sprintf("status-%d", i%7)), pk))
+			must(tbl.AddIndexEntry(2, []byte(fmt.Sprintf("city-%03d", rng.Intn(300))), pk))
+		}
+		start = time.Now()
+		lookups := ops / 10
+		for i := 0; i < lookups; i++ {
+			if _, err := tbl.LookupIndex(1, []byte(fmt.Sprintf("status-%d", rng.Intn(7))), 20); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ops = lookups
+	default:
+		fmt.Fprintf(os.Stderr, "unknown bench %q\n", *bench)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	m := db.Metrics()
+	wa := db.WriteAmp()
+	fmt.Printf("%s/%s: %d ops in %v (%.0f ops/s, %.2f us/op)\n",
+		*system, *bench, ops, elapsed.Round(time.Millisecond),
+		float64(ops)/elapsed.Seconds(), float64(elapsed.Microseconds())/float64(ops))
+	fmt.Printf("  read  %v | write %v | scan %v\n",
+		m.ReadLatency, m.WriteLatency, m.ScanLatency)
+	fmt.Printf("  flush=%d internal=%d major=%d | WA %.2f (PM %dMB, SSD %dMB) | PM hit %.0f%%\n",
+		m.FlushCount.Load(), m.InternalCount.Load(), m.MajorCount.Load(),
+		wa.Factor(), wa.PMBytes>>20, (wa.SSDBytes-wa.SSDWALBytes)>>20, 100*m.PMHitRatio())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+// Command pmblade-repro regenerates the tables and figures of the PM-Blade
+// paper's evaluation on the simulated devices.
+//
+// Usage:
+//
+//	pmblade-repro                 # run everything at default scale
+//	pmblade-repro -exp fig9       # one experiment
+//	pmblade-repro -scale 2.0      # bigger datasets (slower, smoother curves)
+//	pmblade-repro -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmblade/internal/clock"
+	"pmblade/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (empty = all)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	clock.Calibrate()
+	s := experiments.Scale{Factor: *scale}
+	start := time.Now()
+	if *exp == "" {
+		experiments.RunAll(s, os.Stdout)
+	} else if _, err := experiments.Run(*exp, s, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,109 @@
+// Command pmblade-retail drives the synthetic Meituan-style online-retail
+// workload (Section VI-D of the paper) against PM-Blade: order inserts with
+// secondary indexes, status-update streams, and index queries with temporal
+// locality.
+//
+// Example:
+//
+//	pmblade-retail -preload 5000 -actions 20000 -partitions 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pmblade"
+	"pmblade/internal/clock"
+	"pmblade/internal/experiments"
+	"pmblade/internal/retail"
+)
+
+func main() {
+	preload := flag.Int("preload", 3000, "orders to insert before measuring")
+	actions := flag.Int("actions", 10000, "measured client actions")
+	partitions := flag.Int("partitions", 4, "range partitions")
+	pmMB := flag.Int64("pm", 64, "PM capacity in MiB")
+	system := flag.String("system", "pmblade", "pmblade | pmblade-pm | pmblade-ssd | rocksdb")
+	flag.Parse()
+	clock.Calibrate()
+
+	sysName := map[string]string{
+		"pmblade":     experiments.SysPMBlade,
+		"pmblade-pm":  experiments.SysPMBladePM,
+		"pmblade-ssd": experiments.SysPMBladeSSD,
+		"rocksdb":     experiments.SysRocksDB,
+	}[*system]
+	if sysName == "" {
+		log.Fatalf("unknown system %q", *system)
+	}
+	cfg := experiments.SystemConfig(sysName, experiments.EngineParams{
+		PMCapacity:    *pmMB << 20,
+		MemtableBytes: 1 << 20,
+		Realistic:     true,
+	})
+	if sysName != experiments.SysRocksDB {
+		cfg.PartitionBoundaries = retail.PartitionBoundaries(*partitions)
+	}
+	db, err := pmblade.OpenEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := retail.New(retail.Config{OrderBytes: 4096, ReadFraction: 0.5, Seed: 42})
+	do := func(a retail.Action) {
+		for _, m := range a.Mutations {
+			if m.Delete {
+				if err := db.Delete(m.Key); err != nil {
+					log.Fatal(err)
+				}
+			} else if err := db.Put(m.Key, m.Value); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, q := range a.Queries {
+			if q.PointKey != nil {
+				if _, _, err := db.Get(q.PointKey); err != nil {
+					log.Fatal(err)
+				}
+				continue
+			}
+			if _, err := db.Scan(q.ScanStart, q.ScanEnd, q.ScanLimit); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Printf("preloading %d orders...\n", *preload)
+	for int(gen.Orders()) < *preload {
+		if a := gen.Next(); a.Kind == retail.ActInsertOrder {
+			do(a)
+		}
+	}
+	db.Metrics().ResetLatencies()
+
+	fmt.Printf("running %d actions...\n", *actions)
+	start := time.Now()
+	counts := map[retail.ActionKind]int{}
+	for i := 0; i < *actions; i++ {
+		a := gen.Next()
+		counts[a.Kind]++
+		do(a)
+	}
+	wall := time.Since(start)
+
+	m := db.Metrics()
+	wa := db.WriteAmp()
+	fmt.Printf("\n%s on retail workload: %.0f actions/s over %v\n",
+		*system, float64(*actions)/wall.Seconds(), wall.Round(time.Millisecond))
+	fmt.Printf("  mix: %d inserts, %d status updates, %d index queries, %d point reads\n",
+		counts[retail.ActInsertOrder], counts[retail.ActUpdateStatus],
+		counts[retail.ActIndexQuery], counts[retail.ActPointRead])
+	fmt.Printf("  read  %v\n  write %v\n  scan  %v\n", m.ReadLatency, m.WriteLatency, m.ScanLatency)
+	fmt.Printf("  compactions: flush=%d internal=%d major=%d\n",
+		m.FlushCount.Load(), m.InternalCount.Load(), m.MajorCount.Load())
+	fmt.Printf("  write amplification %.2f (PM %dMB, SSD %dMB) | PM hit %.0f%%\n",
+		wa.Factor(), wa.PMBytes>>20, (wa.SSDBytes-wa.SSDWALBytes)>>20, 100*m.PMHitRatio())
+}

@@ -1,0 +1,70 @@
+// Hotcold: demonstrate PM-Blade's warm-data retention. A skewed workload
+// reads a hot subset of keys; the cost-based compaction strategy (Eq. 3 of
+// the paper) keeps the hot partitions resident in persistent memory when
+// major compaction must evict, so most reads keep hitting PM instead of SSD.
+//
+//	go run ./examples/hotcold
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pmblade"
+)
+
+func main() {
+	opts := pmblade.DefaultOptions()
+	// A small PM budget forces evictions; 8 range partitions give the
+	// knapsack of Eq. 3 real choices.
+	opts.PMCapacityBytes = 8 << 20
+	opts.MemtableBytes = 256 << 10
+	for i := 1; i < 8; i++ {
+		opts.PartitionBoundaries = append(opts.PartitionBoundaries,
+			[]byte(fmt.Sprintf("key-%05d", i*2500)))
+	}
+	db, err := pmblade.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const keyspace = 20000
+	rng := rand.New(rand.NewSource(1))
+	val := make([]byte, 512)
+	rng.Read(val)
+
+	// Mixed workload: writes across the whole keyspace, reads concentrated
+	// on the first partition (keys 0..2499 are "hot").
+	for i := 0; i < 60000; i++ {
+		if i%2 == 0 {
+			k := fmt.Sprintf("key-%05d", rng.Intn(keyspace))
+			if err := db.Put([]byte(k), val); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		var k string
+		if rng.Intn(10) < 8 { // 80% of reads hit the hot 12.5% of keys
+			k = fmt.Sprintf("key-%05d", rng.Intn(2500))
+		} else {
+			k = fmt.Sprintf("key-%05d", rng.Intn(keyspace))
+		}
+		if _, _, err := db.Get([]byte(k)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := db.Metrics()
+	fmt.Printf("reads served by: memtable=%d PM=%d SSD=%d\n",
+		m.ReadsBy(pmblade.TierMemtable), m.ReadsBy(pmblade.TierPM), m.ReadsBy(pmblade.TierSSD))
+	fmt.Printf("PM hit ratio (PM vs SSD): %.0f%%\n", 100*m.PMHitRatio())
+	fmt.Printf("compactions: internal=%d major=%d\n",
+		m.InternalCount.Load(), m.MajorCount.Load())
+	fmt.Println()
+	fmt.Println("The cost model kept the hot partition's data in PM: despite PM")
+	fmt.Println("holding only a fraction of the dataset, the skewed reads rarely")
+	fmt.Println("touch the SSD. Re-run with opts.PMCapacityBytes doubled to watch")
+	fmt.Println("the hit ratio rise further.")
+}

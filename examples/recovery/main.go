@@ -1,0 +1,74 @@
+// Recovery: demonstrate crash consistency. Write data, checkpoint (flush +
+// WAL rotation + manifest), write a little more (WAL-only), then "crash" by
+// discarding the engine and recover from the surviving devices: the
+// checkpointed tables reopen in place and the WAL tail replays.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmblade"
+	"pmblade/internal/engine"
+)
+
+func main() {
+	db, err := pmblade.Open(pmblade.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := db.Engine()
+
+	// Durable phase: 5000 keys, then checkpoint.
+	for i := 0; i < 5000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := eng.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpointed 5000 keys (flushed, WAL rotated, manifest saved)")
+
+	// Tail phase: these live only in the fresh WAL.
+	for i := 5000; i < 5100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A restart needs a manifest that references the current WAL.
+	manifest, err := eng.SaveManifest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote 100 more keys (WAL only) and saved the manifest")
+
+	// "Crash": the process state is gone; only the devices survive.
+	pm, sd := eng.PMDevice(), eng.SSDDevice()
+	db.Close()
+
+	re, err := engine.Recover(pmblade.DefaultOptions().EngineConfig(), pm, sd, manifest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re.Close()
+
+	// Everything — checkpointed tables and WAL tail — is back.
+	missing := 0
+	for i := 0; i < 5100; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v, ok, err := re.Get(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			missing++
+		}
+	}
+	fmt.Printf("after recovery: %d/%d keys intact (%d missing)\n", 5100-missing, 5100, missing)
+	if missing == 0 {
+		fmt.Println("crash recovery successful: PM tables reopened in place, WAL tail replayed")
+	}
+}

@@ -1,0 +1,3 @@
+module pmblade
+
+go 1.22

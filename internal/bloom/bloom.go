@@ -1,0 +1,106 @@
+// Package bloom implements a standard double-hashing Bloom filter used by
+// SSTables (and optionally PM tables) to skip lookups for absent keys.
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Filter is an immutable Bloom filter over a set of keys.
+type Filter struct {
+	bits []byte
+	k    uint32
+}
+
+// hash is a 64-bit FNV-1a variant split into two 32-bit halves for
+// double hashing.
+func hash(key []byte) (h1, h2 uint32) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return uint32(h), uint32(h >> 32)
+}
+
+// New builds a filter for keys with the given bits-per-key budget (typical
+// value: 10, giving ~1% false positives).
+func New(keys [][]byte, bitsPerKey int) *Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	k := uint32(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(keys) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	f := &Filter{bits: make([]byte, nBytes), k: k}
+	for _, key := range keys {
+		f.add(key, uint32(nBits))
+	}
+	return f
+}
+
+func (f *Filter) add(key []byte, nBits uint32) {
+	h1, h2 := hash(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nBits
+		f.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// MayContain reports whether key is possibly in the set. False means
+// definitely absent.
+func (f *Filter) MayContain(key []byte) bool {
+	nBits := uint32(len(f.bits)) * 8
+	if nBits == 0 {
+		return true
+	}
+	h1, h2 := hash(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode serializes the filter: bits || k (4 bytes LE).
+func (f *Filter) Encode() []byte {
+	out := make([]byte, len(f.bits)+4)
+	copy(out, f.bits)
+	binary.LittleEndian.PutUint32(out[len(f.bits):], f.k)
+	return out
+}
+
+// Decode reconstructs a filter from Encode's output. It returns nil for
+// obviously invalid input.
+func Decode(p []byte) *Filter {
+	if len(p) < 5 {
+		return nil
+	}
+	k := binary.LittleEndian.Uint32(p[len(p)-4:])
+	if k == 0 || k > 30 {
+		return nil
+	}
+	bits := make([]byte, len(p)-4)
+	copy(bits, p[:len(p)-4])
+	return &Filter{bits: bits, k: k}
+}
+
+// SizeBytes reports the encoded size of the filter.
+func (f *Filter) SizeBytes() int { return len(f.bits) + 4 }

@@ -1,0 +1,88 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("key-%06d", i))
+	}
+	return out
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	ks := keys(10000)
+	f := New(ks, 10)
+	for _, k := range ks {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	ks := keys(10000)
+	f := New(ks, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%06d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.3f too high for 10 bits/key", rate)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ks := keys(1000)
+	f := New(ks, 10)
+	enc := f.Encode()
+	g := Decode(enc)
+	if g == nil {
+		t.Fatal("decode failed")
+	}
+	for _, k := range ks {
+		if !g.MayContain(k) {
+			t.Fatalf("decoded filter lost %q", k)
+		}
+	}
+	if len(enc) != f.SizeBytes() {
+		t.Fatalf("SizeBytes %d != encoded %d", f.SizeBytes(), len(enc))
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	if Decode(nil) != nil {
+		t.Error("nil input should fail")
+	}
+	if Decode([]byte{1, 2, 3}) != nil {
+		t.Error("short input should fail")
+	}
+	if Decode([]byte{0, 0, 0, 0, 0, 0, 0, 0}) != nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(nil, 10)
+	// No keys: everything should be definitely absent.
+	if f.MayContain([]byte("anything")) {
+		t.Error("empty filter should reject")
+	}
+}
+
+func TestLowBitsPerKeyClamped(t *testing.T) {
+	ks := keys(100)
+	f := New(ks, 0) // clamped to 1
+	for _, k := range ks {
+		if !f.MayContain(k) {
+			t.Fatal("false negative with clamped bits/key")
+		}
+	}
+}

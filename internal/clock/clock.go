@@ -1,0 +1,93 @@
+// Package clock provides precise waiting for the simulated storage devices.
+//
+// The injected device latencies range from ~100ns (a PM write) to a few
+// milliseconds (a contended SSD op). time.Sleep cannot express the short end
+// — on coarse-timer kernels it overshoots sub-millisecond sleeps to >1ms —
+// so Spin implements three regimes:
+//
+//   - below ~2µs: a calibrated busy loop (no time syscalls at all);
+//   - up to a few ms: a poll loop on time.Since that yields the processor
+//     between polls (runtime.Gosched), so concurrent compute goroutines are
+//     not starved on small machines;
+//   - beyond that: time.Sleep for the bulk, then the poll loop for the tail.
+package clock
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// spinsPerKiloNano is the calibrated number of spin iterations per 1024ns.
+var spinsPerKiloNano atomic.Int64
+
+// sink defeats dead-code elimination of the spin loop.
+var sink atomic.Int64
+
+// Calibrate measures the busy-loop rate. Called lazily by Spin; calling it
+// eagerly at program start avoids a first-use hiccup.
+func Calibrate() {
+	const probe = 1 << 16
+	start := time.Now()
+	spin(probe)
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	perKilo := int64(probe) * 1024 / int64(elapsed)
+	if perKilo < 1 {
+		perKilo = 1
+	}
+	spinsPerKiloNano.Store(perKilo)
+}
+
+func spin(n int64) {
+	var acc int64
+	for i := int64(0); i < n; i++ {
+		acc += i ^ (acc << 1)
+	}
+	sink.Store(acc)
+}
+
+// tightThreshold is the boundary below which Spin avoids time syscalls.
+const tightThreshold = 2 * time.Microsecond
+
+// sleepSlack is the duration reserved for the precise tail after a bulk
+// time.Sleep; it must exceed the platform's worst sleep overshoot.
+const sleepSlack = 4 * time.Millisecond
+
+// Spin waits for approximately d with microsecond-level accuracy. It is
+// scheduling-friendly: waits longer than a few microseconds repeatedly yield
+// the processor, so compute goroutines keep running on small GOMAXPROCS.
+func Spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d < tightThreshold {
+		rate := spinsPerKiloNano.Load()
+		if rate == 0 {
+			Calibrate()
+			rate = spinsPerKiloNano.Load()
+		}
+		spin(int64(d) * rate / 1024)
+		return
+	}
+	start := time.Now()
+	if d > 2*sleepSlack {
+		time.Sleep(d - sleepSlack)
+	}
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}
+
+// Stopwatch measures elapsed wall time.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed reports time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

@@ -1,0 +1,60 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("zero/negative spins must return immediately")
+	}
+}
+
+func TestSpinShortDurationAccuracy(t *testing.T) {
+	Calibrate()
+	// Sub-microsecond spins: assert they do not overshoot grossly (the whole
+	// point versus time.Sleep, whose floor is ~1ms on coarse-timer kernels).
+	const n = 1000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		Spin(500 * time.Nanosecond)
+	}
+	per := time.Since(start) / n
+	if per > 100*time.Microsecond {
+		t.Fatalf("500ns spin took %v on average — overshooting like a sleep", per)
+	}
+}
+
+func TestSpinMediumDuration(t *testing.T) {
+	Calibrate()
+	start := time.Now()
+	Spin(200 * time.Microsecond)
+	got := time.Since(start)
+	if got < 150*time.Microsecond {
+		t.Fatalf("200µs spin returned after %v (undershoot)", got)
+	}
+	if got > 50*time.Millisecond {
+		t.Fatalf("200µs spin took %v (gross overshoot)", got)
+	}
+}
+
+func TestSpinLongDurationUsesSleep(t *testing.T) {
+	start := time.Now()
+	Spin(15 * time.Millisecond)
+	got := time.Since(start)
+	if got < 14*time.Millisecond {
+		t.Fatalf("15ms spin returned after %v", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := NewStopwatch()
+	Spin(time.Millisecond)
+	if sw.Elapsed() < 500*time.Microsecond {
+		t.Fatalf("stopwatch read %v after ~1ms", sw.Elapsed())
+	}
+}

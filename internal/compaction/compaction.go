@@ -1,0 +1,362 @@
+// Package compaction implements major compaction (level-0 → SSD) as the
+// three-stage process of Section V: S1 reads input chunks, S2 merge-sorts
+// and deduplicates, S3 writes output blocks. The stages are expressed
+// through sched.Ctx, so one implementation exhibits all three behaviours the
+// paper studies: thread scheduling (S3 blocks and fragments S2), basic
+// coroutines (S3 yields the CPU slot), and PM-Blade's flush coroutine
+// (S3 is asynchronous and admission-controlled, so S2 is never cut).
+//
+// A Splitter divides one logical compaction into key-range subtasks so the
+// scheduler can use multiple workers (Section V-C's compaction task
+// manager).
+package compaction
+
+import (
+	"bytes"
+	"sync"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/sched"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+)
+
+// chunkSize is the number of entries S1 pulls from a source per read stage.
+const chunkSize = 256
+
+// chunkedSource adapts a kv.Iterator into buffered chunks so the merge (S2)
+// never performs device I/O while holding a CPU slot: refills happen in an
+// S1 stage via ctx.Read.
+type chunkedSource struct {
+	it        kv.Iterator
+	buf       []kv.Entry
+	pos       int
+	exhausted bool
+	hi        []byte // exclusive upper bound; nil = unbounded
+}
+
+// refill pulls the next chunk from the iterator. Runs inside ctx.Read.
+func (s *chunkedSource) refill() {
+	s.buf = s.buf[:0]
+	s.pos = 0
+	for len(s.buf) < chunkSize && s.it.Valid() {
+		e := s.it.Entry()
+		if s.hi != nil && bytes.Compare(e.Key, s.hi) >= 0 {
+			s.exhausted = true
+			return
+		}
+		// Copy out: source buffers are reused on Next.
+		s.buf = append(s.buf, kv.Entry{
+			Key:   append([]byte(nil), e.Key...),
+			Value: append([]byte(nil), e.Value...),
+			Seq:   e.Seq,
+			Kind:  e.Kind,
+		})
+		s.it.Next()
+	}
+	if len(s.buf) == 0 {
+		s.exhausted = true
+	}
+}
+
+func (s *chunkedSource) empty() bool { return s.pos >= len(s.buf) }
+
+func (s *chunkedSource) head() kv.Entry { return s.buf[s.pos] }
+
+// stagedSink is the paper's compaction write buffer: output blocks from the
+// SSTable builder accumulate in a buffer of WriteBufBytes; when it fills, an
+// S3 stage writes the whole buffer to the device in one request. Under
+// ModePMBlade the S3 runs asynchronously on the flush coroutine; under the
+// other modes the caller's compute loop breaks to perform it synchronously.
+type stagedSink struct {
+	mu      sync.Mutex
+	buf     []byte
+	bufSize int
+	ctx     *sched.Ctx
+
+	dev   *ssd.Device
+	file  ssd.FileID
+	cause device.Cause
+	err   error
+}
+
+// Bind implements sstable.WriteSink.
+func (s *stagedSink) Bind(dev *ssd.Device, file sstable.FileAlias, cause device.Cause) {
+	s.dev, s.file, s.cause = dev, file, cause
+}
+
+// Append implements sstable.WriteSink.
+func (s *stagedSink) Append(p []byte) {
+	s.mu.Lock()
+	s.buf = append(s.buf, p...)
+	s.mu.Unlock()
+}
+
+// full reports whether the write buffer reached its capacity — the trigger
+// for an S3 stage.
+func (s *stagedSink) full() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf) >= s.bufSize
+}
+
+// drain issues the buffered bytes as one S3 write through the scheduler
+// (asynchronous under ModePMBlade). Returns whether anything was written.
+func (s *stagedSink) drain() bool {
+	s.mu.Lock()
+	if len(s.buf) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	chunk := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	s.ctx.Write(func() {
+		if _, err := s.dev.Append(s.file, chunk, s.cause); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+		}
+	})
+	return true
+}
+
+// Barrier implements sstable.WriteSink: flush the remainder and wait for
+// async completions.
+func (s *stagedSink) Barrier() error {
+	s.drain()
+	s.ctx.Drain()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Params configures one compaction subtask.
+type Params struct {
+	// Dev is the output SSD device.
+	Dev *ssd.Device
+	// Cause attributes the output bytes (major or leveled).
+	Cause device.Cause
+	// DropTombstones removes deletions and the versions they shadow (legal
+	// only when no older level can contain the keys).
+	DropTombstones bool
+	// TargetTableBytes splits the output into tables of roughly this size;
+	// 0 means a single table.
+	TargetTableBytes int64
+	// Hi is the exclusive upper bound of this subtask's key range (nil for
+	// unbounded); sources must already be positioned at the lower bound.
+	Hi []byte
+	// BreakOnWrite makes S2 stop as soon as the write buffer fills — the
+	// synchronous-S3 behaviour of the thread and basic-coroutine modes. The
+	// PM-Blade flush coroutine sets it false so S2 runs unfragmented.
+	BreakOnWrite bool
+	// WriteBufBytes is the S3 write-buffer capacity; output blocks coalesce
+	// into device writes of roughly this size (default 256 KiB).
+	WriteBufBytes int
+	// Compress enables LZ block compression on the output tables (the
+	// RocksDB default; part of S2's CPU work).
+	Compress bool
+}
+
+// Run executes one compaction subtask over sources (each positioned at the
+// subtask's lower bound) and returns the output tables in key order.
+func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, error) {
+	srcs := make([]*chunkedSource, len(sources))
+	for i, it := range sources {
+		srcs[i] = &chunkedSource{it: it, hi: p.Hi}
+	}
+
+	bufSize := p.WriteBufBytes
+	if bufSize <= 0 {
+		bufSize = 256 << 10
+	}
+	sink := &stagedSink{ctx: ctx, bufSize: bufSize}
+	var out []*sstable.Table
+	var builder *sstable.Builder
+	var builderBytes int64
+	var buildErr error
+
+	newBuilder := func() {
+		builder = sstable.NewBuilderWithSink(p.Dev, p.Cause, sink)
+		if p.Compress {
+			builder.EnableCompression()
+		}
+		builderBytes = 0
+	}
+	finishBuilder := func() error {
+		if builder == nil {
+			return nil
+		}
+		t, err := builder.Finish() // calls Barrier: drains + waits
+		builder = nil
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+
+	// lastKey tracks dedup state across compute bursts.
+	var lastKey []byte
+	haveLast := false
+
+	// prefetcher is implemented by sources with device readahead (SSTables);
+	// its device read is the true S1, while decoding the fetched bytes is
+	// part of S2 ("after using PM as level-0, there are more memory
+	// operations, which makes S2 last longer" — Section V-B).
+	type prefetcher interface{ Prefetch() }
+
+	for {
+		// S1: perform the device reads for every source needing a refill.
+		needRefill := false
+		for _, s := range srcs {
+			if s.empty() && !s.exhausted {
+				needRefill = true
+				if p, ok := s.it.(prefetcher); ok {
+					ctx.Read(p.Prefetch)
+				}
+			}
+		}
+		if needRefill {
+			// Decode the fetched bytes into entry buffers: compute work.
+			ctx.Compute(func() {
+				for _, s := range srcs {
+					if s.empty() && !s.exhausted {
+						s.refill()
+					}
+				}
+			})
+		}
+		live := 0
+		for _, s := range srcs {
+			if !s.empty() {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+
+		// S2: merge entries until a source drains, a block write is pending
+		// (sync modes), or the output table reaches its target size.
+		needSplit := false
+		ctx.Compute(func() {
+			for {
+				// Pick the minimal head among non-empty sources; earlier
+				// sources win ties (they are newer by construction).
+				best := -1
+				for i, s := range srcs {
+					if s.empty() {
+						if !s.exhausted {
+							return // S1 needed
+						}
+						continue
+					}
+					if best == -1 || kv.Compare(s.head(), srcs[best].head()) < 0 {
+						best = i
+					}
+				}
+				if best == -1 {
+					return // all exhausted
+				}
+				e := srcs[best].head()
+				srcs[best].pos++
+
+				// Dedup: keep only the newest version of each key.
+				if haveLast && bytes.Equal(e.Key, lastKey) {
+					continue
+				}
+				lastKey = append(lastKey[:0], e.Key...)
+				haveLast = true
+				if p.DropTombstones && e.Kind == kv.KindDelete {
+					continue
+				}
+				if builder == nil {
+					newBuilder()
+				}
+				if err := builder.Add(e); err != nil {
+					buildErr = err
+					return
+				}
+				builderBytes += int64(e.Size())
+				if p.TargetTableBytes > 0 && builderBytes >= p.TargetTableBytes {
+					needSplit = true
+					return
+				}
+				if p.BreakOnWrite && sink.full() {
+					return // S3 interrupts S2 (thread / basic coroutine)
+				}
+			}
+		})
+		if buildErr != nil {
+			if builder != nil {
+				builder.Abandon()
+			}
+			return nil, buildErr
+		}
+		// S3: flush the write buffer when it reached capacity.
+		if sink.full() {
+			sink.drain()
+		}
+		if needSplit {
+			if err := finishBuilder(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := finishBuilder(); err != nil {
+		return nil, err
+	}
+	ctx.Drain()
+	return out, nil
+}
+
+// SplitRange divides the compaction keyspace into at most n contiguous
+// subranges using the boundary keys of the input tables (smallest keys work
+// well because outputs are non-overlapping). It returns n-1 split keys;
+// subtask i covers [split[i-1], split[i]).
+func SplitRange(boundaries [][]byte, n int) [][]byte {
+	if n <= 1 || len(boundaries) == 0 {
+		return nil
+	}
+	// Sort + dedup boundaries.
+	sorted := make([][]byte, 0, len(boundaries))
+	sorted = append(sorted, boundaries...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && bytes.Compare(sorted[j], sorted[j-1]) < 0; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	uniq := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || !bytes.Equal(b, sorted[i-1]) {
+			uniq = append(uniq, b)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	splits := n - 1
+	if splits > len(uniq)-1 {
+		splits = len(uniq) - 1
+	}
+	var out [][]byte
+	for i := 1; i <= splits; i++ {
+		idx := i * len(uniq) / (splits + 1)
+		if idx == 0 {
+			idx = 1
+		}
+		out = append(out, uniq[idx])
+	}
+	// Dedup the chosen splits.
+	final := out[:0]
+	for i, s := range out {
+		if i == 0 || !bytes.Equal(s, out[i-1]) {
+			final = append(final, s)
+		}
+	}
+	return final
+}

@@ -1,0 +1,158 @@
+// Package compress provides the two compression schemes the paper compares:
+// a byte-oriented LZ-style block compressor standing in for snappy
+// (hash-table match finder, literal/copy tag stream) and prefix-compression
+// helpers used by the PM table's three-layer structure.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrCorrupt is returned when decompressing malformed input.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// Tag layout (snappy-like):
+//
+//	literal: tag = len-1 << 2 | 0b00          (len <= 60; longer unused)
+//	copy:    tag = lenCode << 2 | 0b01, then 2-byte LE offset
+//
+// Matches are 4..64+3 bytes; offsets up to 64 KiB.
+const (
+	tagLiteral = 0x00
+	tagCopy    = 0x01
+
+	minMatch    = 4
+	maxMatch    = 67
+	maxOffset   = 1 << 16
+	maxLitChunk = 60
+	hashBits    = 14
+)
+
+// Compress appends a compressed representation of src to dst and returns the
+// result. The output begins with the uvarint length of src.
+func Compress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	// Size the match table to the input so tiny records (per-entry
+	// compression in the Array-snappy format) do not pay a fixed init cost.
+	bits := 8
+	for bits < hashBits && 1<<(bits+2) < len(src) {
+		bits++
+	}
+	table := make([]int32, 1<<bits)
+	for i := range table {
+		table[i] = -1
+	}
+	hashOf := func(i int) uint32 {
+		v := binary.LittleEndian.Uint32(src[i:])
+		return (v * 2654435761) >> (32 - bits)
+	}
+	emitLiterals := func(lit []byte) {
+		for len(lit) > 0 {
+			n := len(lit)
+			if n > maxLitChunk {
+				n = maxLitChunk
+			}
+			dst = append(dst, byte(n-1)<<2|tagLiteral)
+			dst = append(dst, lit[:n]...)
+			lit = lit[n:]
+		}
+	}
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hashOf(i)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) < maxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match.
+			mlen := minMatch
+			for i+mlen < len(src) && mlen < maxMatch && src[int(cand)+mlen] == src[i+mlen] {
+				mlen++
+			}
+			emitLiterals(src[litStart:i])
+			dst = append(dst, byte(mlen-minMatch)<<2|tagCopy)
+			var off [2]byte
+			binary.LittleEndian.PutUint16(off[:], uint16(i-int(cand)))
+			dst = append(dst, off[:]...)
+			i += mlen
+			litStart = i
+			continue
+		}
+		i++
+	}
+	emitLiterals(src[litStart:])
+	return dst
+}
+
+// Decompress appends the decompressed form of src (produced by Compress) to
+// dst and returns the result.
+func Decompress(dst, src []byte) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	src = src[n:]
+	base := len(dst)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			length := int(tag>>2) + 1
+			if len(src) < 1+length {
+				return nil, ErrCorrupt
+			}
+			dst = append(dst, src[1:1+length]...)
+			src = src[1+length:]
+		case tagCopy:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + minMatch
+			offset := int(binary.LittleEndian.Uint16(src[1:3]))
+			src = src[3:]
+			if offset == 0 || offset > len(dst)-base {
+				return nil, ErrCorrupt
+			}
+			// Byte-at-a-time copy: matches may overlap themselves.
+			pos := len(dst) - offset
+			for j := 0; j < length; j++ {
+				dst = append(dst, dst[pos+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad tag %#x", ErrCorrupt, tag)
+		}
+	}
+	if uint64(len(dst)-base) != want {
+		return nil, fmt.Errorf("%w: want %d bytes got %d", ErrCorrupt, want, len(dst)-base)
+	}
+	return dst, nil
+}
+
+// SharedPrefixLen reports the length of the longest common prefix of a and b.
+// It compares eight bytes at a time; PM-table builds call it per group.
+func SharedPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i+8 <= n {
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		if x != y {
+			return i + bits.TrailingZeros64(x^y)/8
+		}
+		i += 8
+	}
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,124 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	comp := Compress(nil, src)
+	dec, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T)   { roundTrip(t, nil) }
+func TestRoundTripOneByte(t *testing.T) { roundTrip(t, []byte{42}) }
+
+func TestRoundTripRepetitive(t *testing.T) {
+	src := []byte(strings.Repeat("abcdefgh", 1000))
+	comp := Compress(nil, src)
+	if len(comp) >= len(src)/4 {
+		t.Errorf("repetitive data should compress well: %d -> %d", len(src), len(comp))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 10000)
+	rng.Read(src)
+	roundTrip(t, src)
+}
+
+func TestRoundTripOverlappingMatches(t *testing.T) {
+	// RLE-like input forces overlapping copies (offset < length).
+	roundTrip(t, bytes.Repeat([]byte{7}, 500))
+	roundTrip(t, append(bytes.Repeat([]byte{1, 2}, 300), 9))
+}
+
+func TestRoundTripKVRecords(t *testing.T) {
+	// Shaped like the index-table records the paper compresses.
+	var src []byte
+	for i := 0; i < 200; i++ {
+		src = append(src, []byte("t\x00\x00\x00\x00\x00\x00\x00\x01iorder-")...)
+		src = append(src, byte('0'+i%10), byte('0'+(i/10)%10))
+		src = append(src, []byte("|status=PAID|city=SH")...)
+	}
+	comp := Compress(nil, src)
+	if len(comp) >= len(src) {
+		t.Errorf("kv-shaped data should compress: %d -> %d", len(src), len(comp))
+	}
+	roundTrip(t, src)
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{},                      // no length
+		{5},                     // length but no body
+		{3, 0xFF},               // bad tag arithmetic / truncated literal
+		{200, 200, 200, 200, 1}, // huge claimed length
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecompressRejectsBadOffset(t *testing.T) {
+	// Hand-build: length 4, then a copy with offset 9 into an empty window.
+	bad := []byte{4, tagCopy, 9, 0}
+	if _, err := Decompress(nil, bad); err == nil {
+		t.Fatal("expected error for copy before start")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	check := func(src []byte) bool {
+		comp := Compress(nil, src)
+		dec, err := Decompress(nil, comp)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressAppendsToDst(t *testing.T) {
+	prefix := []byte("header:")
+	out := Compress(append([]byte(nil), prefix...), []byte("payload payload payload"))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Compress must append to dst")
+	}
+	dec, err := Decompress(nil, out[len(prefix):])
+	if err != nil || string(dec) != "payload payload payload" {
+		t.Fatalf("decode after append: %q %v", dec, err)
+	}
+}
+
+func TestSharedPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abd", 2},
+		{"abc", "abc", 3},
+		{"abc", "abcdef", 3},
+		{"xyz", "abc", 0},
+	}
+	for _, c := range cases {
+		if got := SharedPrefixLen([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("SharedPrefixLen(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

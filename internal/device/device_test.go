@@ -1,0 +1,74 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountersPerCause(t *testing.T) {
+	s := NewStats()
+	s.CountWrite(CauseFlush, 100)
+	s.CountWrite(CauseFlush, 50)
+	s.CountWrite(CauseMajor, 25)
+	s.CountRead(CauseClientRead, 10)
+
+	if s.WriteBytes(CauseFlush) != 150 {
+		t.Fatalf("flush bytes = %d", s.WriteBytes(CauseFlush))
+	}
+	if s.WriteOps(CauseFlush) != 2 {
+		t.Fatalf("flush ops = %d", s.WriteOps(CauseFlush))
+	}
+	if s.TotalWriteBytes() != 175 {
+		t.Fatalf("total writes = %d", s.TotalWriteBytes())
+	}
+	if s.ReadBytes(CauseClientRead) != 10 || s.ReadOps(CauseClientRead) != 1 {
+		t.Fatal("read accounting wrong")
+	}
+	if s.TotalReadBytes() != 10 {
+		t.Fatalf("total reads = %d", s.TotalReadBytes())
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	s := NewStats()
+	s.AddBusy(5 * time.Millisecond)
+	if s.BusyTime() != 5*time.Millisecond {
+		t.Fatalf("busy = %v", s.BusyTime())
+	}
+	time.Sleep(2 * time.Millisecond)
+	if u := s.Utilization(); u <= 0 {
+		t.Fatalf("utilization = %v", u)
+	}
+	s.ResetWindow()
+	if s.BusyTime() != 0 {
+		t.Fatal("reset window should clear busy time")
+	}
+	// Byte counters survive a window reset.
+	s.CountWrite(CauseWAL, 7)
+	s.ResetWindow()
+	if s.WriteBytes(CauseWAL) != 7 {
+		t.Fatal("window reset must not clear byte counters")
+	}
+	s.Reset()
+	if s.WriteBytes(CauseWAL) != 0 || s.TotalWriteBytes() != 0 {
+		t.Fatal("full reset must clear everything")
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	names := map[Cause]string{
+		CauseWAL:         "wal",
+		CauseFlush:       "flush",
+		CauseInternal:    "internal",
+		CauseMajor:       "major",
+		CauseLeveled:     "leveled",
+		CauseClientRead:  "read",
+		CauseClientWrite: "write",
+		CauseUnknown:     "unknown",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Cause(%d).String() = %q want %q", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+package engine
+
+import (
+	"time"
+
+	"pmblade/internal/compaction"
+	"pmblade/internal/costmodel"
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/pmem"
+	"pmblade/internal/sched"
+	"pmblade/internal/sstable"
+)
+
+// runCompactionStrategy applies Algorithm 1 after a flush touched p: decide
+// internal compaction per the cost models (or threshold), then check whether
+// level-0 as a whole needs a major compaction. Callers hold maintMu.
+func (db *DB) runCompactionStrategy(p *partition) error {
+	switch {
+	case db.cfg.RocksDB:
+		return db.runLeveledCompactions(p)
+	case p.l0 == nil:
+		// PMBlade-SSD: threshold strategy on the SSD level-0.
+		if len(p.l0ssdSnapshot()) >= db.cfg.L0TriggerTables {
+			return db.majorCompactSSDPartition(p)
+		}
+		return nil
+	}
+
+	if db.cfg.InternalCompaction {
+		if db.cfg.CostBased {
+			st := db.partitionCostState(p)
+			if ok, _ := db.cfg.Cost.ShouldInternalCompact(st); ok {
+				if err := db.internalCompact(p); err != nil {
+					return err
+				}
+			}
+		} else if p.l0.UnsortedCount() >= db.cfg.L0TriggerTables {
+			if err := db.internalCompact(p); err != nil {
+				return err
+			}
+		}
+	}
+
+	if db.cfg.CostBased {
+		if db.cfg.Cost.NeedMajor(db.pm.Used()) {
+			return db.majorCompactEvict()
+		}
+		return nil
+	}
+	// Threshold strategy (PMBlade-PM): "when the number of PM tables reaches
+	// the threshold, the whole level-0 will be compacted to level-1" — a
+	// global wipe, which is exactly why the conventional strategy fails to
+	// retain warm data in PM (Figure 8(b)).
+	total := 0
+	for _, q := range db.partitions {
+		if q.l0 != nil {
+			total += q.l0.UnsortedCount() + q.l0.SortedCount()
+		}
+	}
+	if total >= db.cfg.L0TriggerTables {
+		for _, q := range db.partitions {
+			if q.l0 == nil {
+				continue
+			}
+			if err := db.majorCompactPartition(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// partitionCostState assembles the Table II observations for the cost model.
+func (db *DB) partitionCostState(p *partition) costmodel.PartitionState {
+	since := time.Unix(0, p.statsSince.Load())
+	elapsed := time.Since(since).Seconds()
+	if elapsed < 1e-3 {
+		elapsed = 1e-3
+	}
+	reads := p.reads.Load()
+	return costmodel.PartitionState{
+		ID:           p.id,
+		Size:         p.l0.SizeBytes(),
+		Unsorted:     p.l0.UnsortedCount(),
+		Sorted:       p.l0.SortedCount(),
+		Reads:        reads,
+		Writes:       p.writes.Load(),
+		Updates:      p.updates.Load(),
+		ReadsPerSec:  float64(reads) / elapsed,
+		TotalRecords: int64(p.l0.EntryCount()),
+	}
+}
+
+// resetPartitionStats re-zeroes the per-partition counters, as the paper
+// prescribes after internal or major compaction.
+func resetPartitionStats(p *partition) {
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.updates.Store(0)
+	p.statsSince.Store(time.Now().UnixNano())
+	p.resetSeen()
+}
+
+// internalCompact runs an internal compaction for p. Tombstones survive
+// whenever the partition has data on SSD. If PM lacks the transient space
+// the compaction needs, the partition is major-compacted instead (which
+// frees PM rather than consuming it).
+func (db *DB) internalCompact(p *partition) error {
+	keepTombstones := p.run.Len() > 0
+	_, err := p.l0.CompactInternal(keepTombstones)
+	if err == pmem.ErrOutOfSpace {
+		return db.majorCompactPartition(p)
+	}
+	if err != nil {
+		return err
+	}
+	db.metrics.InternalCount.Add(1)
+	resetPartitionStats(p)
+	return nil
+}
+
+// majorCompactEvict performs the cost-based major compaction: Eq. 3 selects
+// the partition set Φ to preserve; every other partition's level-0 is
+// compacted to SSD and evicted from PM.
+func (db *DB) majorCompactEvict() error {
+	states := make([]costmodel.PartitionState, 0, len(db.partitions))
+	for _, p := range db.partitions {
+		if p.l0 != nil {
+			states = append(states, db.partitionCostState(p))
+		}
+	}
+	preserved := db.cfg.Cost.SelectPreserved(states)
+	for _, p := range db.partitions {
+		if p.l0 == nil || preserved[p.id] {
+			continue
+		}
+		if err := db.majorCompactPartition(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// majorCompactForSpace is the write-stall path: PM is out of space, so evict
+// per Eq. 3 regardless of τ_m.
+func (db *DB) majorCompactForSpace() error {
+	return db.majorCompactEvict()
+}
+
+// majorCompactPartition compacts p's entire PM level-0 together with the
+// overlapping SSD run tables into a new run, using the coroutine pool with
+// range-split subtasks, then evicts level-0 from PM.
+func (db *DB) majorCompactPartition(p *partition) error {
+	unsorted, sorted := p.l0.Tables()
+	if len(unsorted)+len(sorted) == 0 {
+		return nil
+	}
+	oldRun := p.run.Tables()
+
+	// Boundaries for the task splitter: table bounds from all inputs.
+	var bounds [][]byte
+	for _, t := range unsorted {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+	for _, t := range sorted {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+	for _, t := range oldRun {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+
+	makeSources := func(lo []byte) []kv.Iterator {
+		var its []kv.Iterator
+		for _, t := range unsorted {
+			its = append(its, t.NewIterator())
+		}
+		for _, t := range sorted {
+			its = append(its, t.NewIterator())
+		}
+		for _, t := range oldRun {
+			its = append(its, t.NewCompactionIterator(256<<10))
+		}
+		for _, it := range its {
+			if lo == nil {
+				it.SeekToFirst()
+			} else {
+				it.SeekGE(lo)
+			}
+		}
+		return its
+	}
+
+	newTables, err := db.runMajor(makeSources, bounds)
+	if err != nil {
+		return err
+	}
+
+	// Install the new run, then retire inputs.
+	p.run.Replace(oldRun, newTables)
+	for _, t := range oldRun {
+		if db.cache != nil {
+			db.cache.DropFile(t.File())
+		}
+		t.Delete()
+	}
+	p.l0.Evict()
+	db.metrics.MajorCount.Add(1)
+	resetPartitionStats(p)
+	return nil
+}
+
+// majorCompactSSDPartition is the PMBlade-SSD path: merge the SSD level-0
+// tables with the overlapping run tables.
+func (db *DB) majorCompactSSDPartition(p *partition) error {
+	l0 := p.l0ssdSnapshot()
+	if len(l0) == 0 {
+		return nil
+	}
+	oldRun := p.run.Tables()
+	var bounds [][]byte
+	for _, t := range l0 {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+	for _, t := range oldRun {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+	makeSources := func(lo []byte) []kv.Iterator {
+		var its []kv.Iterator
+		for _, t := range l0 {
+			its = append(its, t.NewCompactionIterator(256<<10))
+		}
+		for _, t := range oldRun {
+			its = append(its, t.NewCompactionIterator(256<<10))
+		}
+		for _, it := range its {
+			if lo == nil {
+				it.SeekToFirst()
+			} else {
+				it.SeekGE(lo)
+			}
+		}
+		return its
+	}
+	newTables, err := db.runMajor(makeSources, bounds)
+	if err != nil {
+		return err
+	}
+	p.run.Replace(oldRun, newTables)
+	p.clearL0SSD(l0)
+	for _, t := range append(l0, oldRun...) {
+		if db.cache != nil {
+			db.cache.DropFile(t.File())
+		}
+		t.Delete()
+	}
+	db.metrics.MajorCount.Add(1)
+	resetPartitionStats(p)
+	return nil
+}
+
+// runMajor executes a major compaction through the scheduler pool, split
+// into range subtasks across workers (Section V-C). makeSources must return
+// fresh iterators positioned at lo.
+func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byte) ([]*sstable.Table, error) {
+	nTasks := db.cfg.Workers * db.pool.K()
+	splits := compaction.SplitRange(bounds, nTasks)
+
+	type rng struct{ lo, hi []byte }
+	var ranges []rng
+	var lo []byte
+	for _, s := range splits {
+		ranges = append(ranges, rng{lo, s})
+		lo = s
+	}
+	ranges = append(ranges, rng{lo, nil})
+
+	results := make([][]*sstable.Table, len(ranges))
+	errs := make([]error, len(ranges))
+	tasks := make([]sched.Task, 0, len(ranges))
+	for i, r := range ranges {
+		i, r := i, r
+		tasks = append(tasks, func(ctx *sched.Ctx) {
+			results[i], errs[i] = compaction.Run(ctx, makeSources(r.lo), compaction.Params{
+				Dev:              db.ssd,
+				Cause:            device.CauseMajor,
+				DropTombstones:   true, // the run is the bottom level
+				TargetTableBytes: db.cfg.SSTableBytes,
+				Hi:               r.hi,
+				BreakOnWrite:     db.cfg.SchedMode != sched.ModePMBlade,
+				Compress:         db.cfg.BlockCompression,
+			})
+		})
+	}
+	db.pool.Run(tasks)
+	var out []*sstable.Table
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// runLeveledCompactions drives the RocksDB-emulation hierarchy until no
+// level is over its trigger.
+func (db *DB) runLeveledCompactions(p *partition) error {
+	for {
+		level, ok := p.leveled.PickCompaction()
+		if !ok {
+			return nil
+		}
+		if err := db.compactLeveledOnce(p, level); err != nil {
+			return err
+		}
+	}
+}
+
+// compactLeveledOnce merges one level into the next.
+func (db *DB) compactLeveledOnce(p *partition, level int) error {
+	var inputs []*sstable.Table
+	var lo, hi []byte
+	if level == 0 {
+		inputs = p.leveled.L0Tables()
+		for _, t := range inputs {
+			if lo == nil || string(t.Smallest()) < string(lo) {
+				lo = t.Smallest()
+			}
+			if hi == nil || string(t.Largest()) > string(hi) {
+				hi = t.Largest()
+			}
+		}
+	} else {
+		// Pick the first table of the over-target level (round-robin by key
+		// would be better; first-table keeps it deterministic).
+		src := p.leveled.Run(level).Tables()
+		if len(src) == 0 {
+			return nil
+		}
+		inputs = src[:1]
+		lo, hi = inputs[0].Smallest(), inputs[0].Largest()
+	}
+	next := p.leveled.Run(level + 1)
+	overlap := next.Overlapping(lo, hi)
+	all := append(append([]*sstable.Table(nil), inputs...), overlap...)
+
+	// Bottom level drops tombstones.
+	bottom := level+1 >= p.leveled.Levels() && len(p.leveled.Run(level+1).Tables()) == len(overlap)
+	deeperEmpty := true
+	for l := level + 2; l <= p.leveled.Levels(); l++ {
+		if p.leveled.Run(l).Len() > 0 {
+			deeperEmpty = false
+			break
+		}
+	}
+	drop := bottom && deeperEmpty
+
+	var bounds [][]byte
+	for _, t := range all {
+		bounds = append(bounds, t.Smallest(), t.Largest())
+	}
+	makeSources := func(seekLo []byte) []kv.Iterator {
+		var its []kv.Iterator
+		for _, t := range all {
+			its = append(its, t.NewCompactionIterator(256<<10))
+		}
+		for _, it := range its {
+			if seekLo == nil {
+				it.SeekToFirst()
+			} else {
+				it.SeekGE(seekLo)
+			}
+		}
+		return its
+	}
+
+	nTasks := db.cfg.Workers * db.pool.K()
+	splits := compaction.SplitRange(bounds, nTasks)
+	type rng struct{ lo, hi []byte }
+	var ranges []rng
+	var cur []byte
+	for _, s := range splits {
+		ranges = append(ranges, rng{cur, s})
+		cur = s
+	}
+	ranges = append(ranges, rng{cur, nil})
+	results := make([][]*sstable.Table, len(ranges))
+	errs := make([]error, len(ranges))
+	var tasks []sched.Task
+	for i, r := range ranges {
+		i, r := i, r
+		tasks = append(tasks, func(ctx *sched.Ctx) {
+			results[i], errs[i] = compaction.Run(ctx, makeSources(r.lo), compaction.Params{
+				Dev:              db.ssd,
+				Cause:            device.CauseLeveled,
+				DropTombstones:   drop,
+				TargetTableBytes: db.cfg.SSTableBytes,
+				Hi:               r.hi,
+				BreakOnWrite:     db.cfg.SchedMode != sched.ModePMBlade,
+				Compress:         db.cfg.BlockCompression,
+			})
+		})
+	}
+	db.pool.Run(tasks)
+	var outTables []*sstable.Table
+	for i := range results {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		outTables = append(outTables, results[i]...)
+	}
+
+	next.Replace(overlap, outTables)
+	if level == 0 {
+		p.leveled.RemoveL0(inputs)
+	} else {
+		p.leveled.Run(level).Replace(inputs, nil)
+	}
+	for _, t := range all {
+		if db.cache != nil {
+			db.cache.DropFile(t.File())
+		}
+		t.Delete()
+	}
+	db.metrics.MajorCount.Add(1)
+	return nil
+}
+
+// CompactNow forces maintenance: flush everything and run the strategy (used
+// by experiments that trigger compaction manually, like Tables IV and V).
+func (db *DB) CompactNow() error {
+	return db.FlushAll()
+}
+
+// InternalCompactAll forces an internal compaction on every partition
+// regardless of the cost models (Table IV triggers compaction manually).
+func (db *DB) InternalCompactAll() error {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	for _, p := range db.partitions {
+		if p.l0 == nil {
+			continue
+		}
+		if err := db.internalCompact(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MajorCompactAll forces a major compaction of every partition's level-0.
+func (db *DB) MajorCompactAll() error {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	for _, p := range db.partitions {
+		switch {
+		case p.l0 != nil:
+			if err := db.majorCompactPartition(p); err != nil {
+				return err
+			}
+		case p.leveled != nil:
+			if err := db.runLeveledCompactions(p); err != nil {
+				return err
+			}
+		default:
+			if err := db.majorCompactSSDPartition(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmblade/internal/kv"
+	"pmblade/internal/level0"
+	"pmblade/internal/levels"
+	"pmblade/internal/memtable"
+	"pmblade/internal/pmem"
+	"pmblade/internal/sched"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+	"pmblade/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("engine: closed")
+
+// DB is the PM-Blade storage engine.
+type DB struct {
+	cfg   Config
+	pm    *pmem.Device
+	ssd   *ssd.Device
+	cache *sstable.BlockCache
+	pool  *sched.Pool
+
+	seq       atomic.Uint64
+	userBytes atomic.Int64
+	metrics   *Metrics
+
+	wal   *wal.Writer
+	walMu sync.Mutex
+
+	partitions []*partition
+
+	// maintMu serializes structural maintenance (flush/compaction
+	// scheduling); reads never take it.
+	maintMu sync.Mutex
+	closed  atomic.Bool
+}
+
+// partition is one range partition's LSM column.
+type partition struct {
+	id int
+	// lo is the inclusive lower bound; nil on the first partition. hi is the
+	// exclusive upper bound; nil on the last.
+	lo, hi []byte
+
+	// mu guards memtable rotation; reads snapshot under RLock.
+	mu  sync.RWMutex
+	mem *memtable.Memtable
+	imm []*memtable.Memtable // newest first
+
+	l0    *level0.Level0   // PM level-0 (Level0OnPM)
+	l0ssd []*sstable.Table // SSD level-0, newest first (PMBlade-SSD)
+	l0mu  sync.RWMutex     // guards l0ssd
+	run   *levels.Run      // SSD level-1 sorted run (non-RocksDB modes)
+
+	leveled *levels.Leveled // RocksDB mode
+
+	// Stats for the cost models (Table II), reset on compaction.
+	reads, writes, updates atomic.Int64
+	statsSince             atomic.Int64 // unix nanos of the last reset
+
+	// seen tracks key hashes written since the last stats reset — the O(1)
+	// update detector feeding n_i^u (Eq. 2).
+	seenMu sync.Mutex
+	seen   map[uint64]struct{}
+}
+
+// noteKeyWrite records a write in the update detector, reporting whether the
+// key was already written since the last reset.
+func (p *partition) noteKeyWrite(key []byte) bool {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	p.seenMu.Lock()
+	defer p.seenMu.Unlock()
+	if p.seen == nil {
+		p.seen = make(map[uint64]struct{})
+	}
+	if _, ok := p.seen[h]; ok {
+		return true
+	}
+	p.seen[h] = struct{}{}
+	return false
+}
+
+// resetSeen clears the update detector (stats reset).
+func (p *partition) resetSeen() {
+	p.seenMu.Lock()
+	p.seen = nil
+	p.seenMu.Unlock()
+}
+
+// Open creates an engine with fresh devices.
+func Open(cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	db := &DB{
+		cfg:     cfg,
+		ssd:     ssd.New(cfg.SSDProfile),
+		metrics: newMetrics(),
+	}
+	if cfg.Level0OnPM {
+		db.pm = pmem.New(cfg.PMCapacity, cfg.PMProfile)
+	}
+	if cfg.BlockCacheBytes > 0 {
+		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
+	}
+	db.pool = sched.NewPool(cfg.SchedMode, cfg.Workers, cfg.QMax, db.ssd)
+	if !cfg.DisableWAL {
+		db.wal = wal.NewWriter(db.ssd)
+	}
+
+	bounds := cfg.PartitionBoundaries
+	for i := 0; i <= len(bounds); i++ {
+		p := &partition{id: i, mem: memtable.New()}
+		if i > 0 {
+			p.lo = bounds[i-1]
+		}
+		if i < len(bounds) {
+			p.hi = bounds[i]
+		}
+		if cfg.RocksDB {
+			p.leveled = levels.NewLeveled(4, cfg.L1TargetBytes, 10)
+		} else {
+			p.run = levels.NewRun()
+			if cfg.Level0OnPM {
+				p.l0 = level0.New(db.pm, level0.Config{
+					Format:          cfg.PMTableFormat,
+					GroupSize:       cfg.GroupSize,
+					TargetTableSize: cfg.L0TableBytes,
+				})
+			}
+		}
+		p.statsSince.Store(time.Now().UnixNano())
+		db.partitions = append(db.partitions, p)
+	}
+	return db, nil
+}
+
+// Close releases the engine. Outstanding operations must have completed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	if db.wal != nil {
+		db.wal.Close()
+	}
+	return nil
+}
+
+// Metrics exposes engine metrics.
+func (db *DB) Metrics() *Metrics { return db.metrics }
+
+// PMDevice exposes the PM device (nil in SSD-level-0 modes).
+func (db *DB) PMDevice() *pmem.Device { return db.pm }
+
+// SSDDevice exposes the SSD device.
+func (db *DB) SSDDevice() *ssd.Device { return db.ssd }
+
+// Pool exposes the compaction scheduler pool.
+func (db *DB) Pool() *sched.Pool { return db.pool }
+
+// Seq reports the current sequence number.
+func (db *DB) Seq() uint64 { return db.seq.Load() }
+
+// route returns the partition owning key.
+func (db *DB) route(key []byte) *partition {
+	ps := db.partitions
+	// Binary search over partitions: first partition whose hi > key.
+	lo, hi := 0, len(ps)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid].hi != nil && bytes.Compare(ps[mid].hi, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return ps[lo]
+}
+
+// partitionsInRange returns partitions intersecting [start, end).
+func (db *DB) partitionsInRange(start, end []byte) []*partition {
+	var out []*partition
+	for _, p := range db.partitions {
+		if end != nil && p.lo != nil && bytes.Compare(p.lo, end) >= 0 {
+			continue
+		}
+		if start != nil && p.hi != nil && bytes.Compare(p.hi, start) <= 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// PartitionCount reports the number of range partitions.
+func (db *DB) PartitionCount() int { return len(db.partitions) }
+
+// DebugString summarizes engine state for logs.
+func (db *DB) DebugString() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "engine mode=%s partitions=%d seq=%d", db.cfg.mode(), len(db.partitions), db.seq.Load())
+	if db.pm != nil {
+		fmt.Fprintf(&b, " pm=%d/%dMB", db.pm.Used()>>20, db.pm.Capacity()>>20)
+	}
+	fmt.Fprintf(&b, " ssd=%dMB", db.ssd.UsedBytes()>>20)
+	return b.String()
+}
+
+// PMUsed reports live PM bytes (0 without PM).
+func (db *DB) PMUsed() int64 {
+	if db.pm == nil {
+		return 0
+	}
+	return db.pm.Used()
+}
+
+// collectEntries drains an iterator into an owned slice.
+func collectEntries(it kv.Iterator) []kv.Entry {
+	var out []kv.Entry
+	it.SeekToFirst()
+	for ; it.Valid(); it.Next() {
+		e := it.Entry()
+		out = append(out, kv.Entry{
+			Key:   append([]byte(nil), e.Key...),
+			Value: append([]byte(nil), e.Value...),
+			Seq:   e.Seq,
+			Kind:  e.Kind,
+		})
+	}
+	return out
+}
+
+// l0ssdSnapshot returns the SSD level-0 tables, newest first.
+func (p *partition) l0ssdSnapshot() []*sstable.Table {
+	p.l0mu.RLock()
+	defer p.l0mu.RUnlock()
+	return append([]*sstable.Table(nil), p.l0ssd...)
+}
+
+// l0ssdRef returns the SSD level-0 tables with references held; the caller
+// must Unref each table when done.
+func (p *partition) l0ssdRef() []*sstable.Table {
+	p.l0mu.RLock()
+	defer p.l0mu.RUnlock()
+	out := append([]*sstable.Table(nil), p.l0ssd...)
+	for _, t := range out {
+		t.Ref()
+	}
+	return out
+}
+
+// addL0SSD prepends a freshly flushed SSD level-0 table.
+func (p *partition) addL0SSD(t *sstable.Table) {
+	p.l0mu.Lock()
+	defer p.l0mu.Unlock()
+	p.l0ssd = append([]*sstable.Table{t}, p.l0ssd...)
+}
+
+// clearL0SSD removes the given tables.
+func (p *partition) clearL0SSD(ts []*sstable.Table) {
+	drop := make(map[*sstable.Table]bool, len(ts))
+	for _, t := range ts {
+		drop[t] = true
+	}
+	p.l0mu.Lock()
+	keep := p.l0ssd[:0]
+	for _, t := range p.l0ssd {
+		if !drop[t] {
+			keep = append(keep, t)
+		}
+	}
+	p.l0ssd = keep
+	p.l0mu.Unlock()
+}
+
+// memSnapshot returns the active memtable and immutables (newest first).
+func (p *partition) memSnapshot() (*memtable.Memtable, []*memtable.Memtable) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.mem, append([]*memtable.Memtable(nil), p.imm...)
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"bytes"
+
+	"pmblade/internal/kv"
+)
+
+// Iterator streams live key-value pairs in key order across every tier and
+// partition. It holds table references while open; Close releases them.
+// Iterators observe a snapshot sequence taken at creation: writes committed
+// afterwards are not visible.
+type Iterator struct {
+	db  *DB
+	seq uint64
+	end []byte
+
+	parts    []*partition
+	pi       int
+	merged   *kv.DedupIterator
+	release  func()
+	cur      ScanResult
+	valid    bool
+	closed   bool
+	firstKey []byte
+}
+
+// NewIterator opens an iterator over [start, end); nil bounds are unbounded.
+func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	it := &Iterator{
+		db:       db,
+		seq:      db.seq.Load(),
+		end:      append([]byte(nil), end...),
+		parts:    db.partitionsInRange(start, end),
+		firstKey: append([]byte(nil), start...),
+	}
+	if end == nil {
+		it.end = nil
+	}
+	it.openPartition(0, start)
+	it.advance()
+	return it, nil
+}
+
+// openPartition switches to partition index pi, seeking its sources to from.
+func (it *Iterator) openPartition(pi int, from []byte) {
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
+	it.merged = nil
+	it.pi = pi
+	if pi >= len(it.parts) {
+		return
+	}
+	its, release := it.db.partitionIterators(it.parts[pi])
+	for _, src := range its {
+		if from != nil {
+			src.SeekGE(from)
+		} else {
+			src.SeekToFirst()
+		}
+	}
+	it.release = release
+	it.merged = kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+}
+
+// advance moves to the next live visible entry, crossing partitions.
+func (it *Iterator) advance() {
+	for {
+		if it.merged == nil {
+			it.valid = false
+			return
+		}
+		for ; it.merged.Valid(); it.merged.Next() {
+			e := it.merged.Entry()
+			if it.end != nil && bytes.Compare(e.Key, it.end) >= 0 {
+				// Past the range: later partitions are even further right.
+				it.valid = false
+				return
+			}
+			if e.Seq > it.seq || e.Kind == kv.KindDelete {
+				continue
+			}
+			it.cur = ScanResult{
+				Key:   append([]byte(nil), e.Key...),
+				Value: append([]byte(nil), e.Value...),
+			}
+			it.valid = true
+			it.merged.Next()
+			return
+		}
+		// Partition exhausted: move on.
+		it.openPartition(it.pi+1, nil)
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.valid && !it.closed }
+
+// Key returns the current key; valid until Next.
+func (it *Iterator) Key() []byte { return it.cur.Key }
+
+// Value returns the current value; valid until Next.
+func (it *Iterator) Value() []byte { return it.cur.Value }
+
+// Next advances to the next entry.
+func (it *Iterator) Next() {
+	if it.closed {
+		it.valid = false
+		return
+	}
+	it.advance()
+}
+
+// Close releases the iterator's table references. It is safe to call twice.
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.valid = false
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"pmblade/internal/device"
+	"pmblade/internal/histogram"
+)
+
+// Tier identifies where a read was served from; Figure 8(b) reports the
+// fraction served by PM.
+type Tier int
+
+// Read-path tiers, in lookup order.
+const (
+	TierMiss Tier = iota
+	TierMemtable
+	TierPM
+	TierSSD
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMemtable:
+		return "memtable"
+	case TierPM:
+		return "pm"
+	case TierSSD:
+		return "ssd"
+	default:
+		return "miss"
+	}
+}
+
+// Metrics aggregates engine-level observations used by the experiments.
+type Metrics struct {
+	// ReadLatency / WriteLatency / ScanLatency are end-to-end operation
+	// histograms.
+	ReadLatency  *histogram.Histogram
+	WriteLatency *histogram.Histogram
+	ScanLatency  *histogram.Histogram
+
+	readsByTier [4]atomic.Int64
+
+	// FlushCount / InternalCount / MajorCount count compactions by kind.
+	FlushCount    atomic.Int64
+	InternalCount atomic.Int64
+	MajorCount    atomic.Int64
+	// WriteStallNanos accrues time writers spent blocked on compaction debt.
+	WriteStallNanos atomic.Int64
+	// L0TablesProbed accrues the PM tables touched per read (read
+	// amplification, Figure 7a).
+	L0TablesProbed atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		ReadLatency:  histogram.New(),
+		WriteLatency: histogram.New(),
+		ScanLatency:  histogram.New(),
+	}
+}
+
+// CountRead records the tier that served a read.
+func (m *Metrics) CountRead(t Tier) { m.readsByTier[t].Add(1) }
+
+// ReadsBy reports reads served by tier t.
+func (m *Metrics) ReadsBy(t Tier) int64 { return m.readsByTier[t].Load() }
+
+// PMHitRatio reports the fraction of tier-resolved reads (PM, SSD) served
+// from PM — memtable hits and misses are excluded, matching Figure 8(b)'s
+// "proportion of read requests hitting PM".
+func (m *Metrics) PMHitRatio() float64 {
+	pm := float64(m.readsByTier[TierPM].Load())
+	ssd := float64(m.readsByTier[TierSSD].Load())
+	if pm+ssd == 0 {
+		return 0
+	}
+	return pm / (pm + ssd)
+}
+
+// ResetLatencies clears the operation histograms (per-phase windows).
+func (m *Metrics) ResetLatencies() {
+	m.ReadLatency.Reset()
+	m.WriteLatency.Reset()
+	m.ScanLatency.Reset()
+}
+
+// WriteAmp summarizes write traffic by destination and cause — the paper's
+// write-amplification accounting (Figure 8a, 11a).
+type WriteAmp struct {
+	// UserBytes is the logical payload written by the client (keys+values).
+	UserBytes int64
+	// PMBytes / SSDBytes are total device write bytes.
+	PMBytes  int64
+	SSDBytes int64
+	// SSDWALBytes is the WAL portion of SSDBytes.
+	SSDWALBytes int64
+	// ByCause breaks down device writes per cause label ("flush",
+	// "internal", "major", "leveled", "wal").
+	ByCause map[string]int64
+}
+
+// Total reports PM + SSD write traffic excluding the WAL (the paper's write
+// amplification excludes logging).
+func (w WriteAmp) Total() int64 { return w.PMBytes + w.SSDBytes - w.SSDWALBytes }
+
+// Factor reports Total divided by the user payload.
+func (w WriteAmp) Factor() float64 {
+	if w.UserBytes == 0 {
+		return 0
+	}
+	return float64(w.Total()) / float64(w.UserBytes)
+}
+
+// WriteAmp gathers the current write-amplification counters.
+func (db *DB) WriteAmp() WriteAmp {
+	wa := WriteAmp{
+		UserBytes: db.userBytes.Load(),
+		ByCause:   map[string]int64{},
+	}
+	causes := []device.Cause{
+		device.CauseWAL, device.CauseFlush, device.CauseInternal,
+		device.CauseMajor, device.CauseLeveled,
+	}
+	for _, c := range causes {
+		n := db.ssd.Stats().WriteBytes(c)
+		if db.pm != nil {
+			n += db.pm.Stats().WriteBytes(c)
+		}
+		if n != 0 {
+			wa.ByCause[c.String()] += n
+		}
+	}
+	if db.pm != nil {
+		wa.PMBytes = db.pm.Stats().TotalWriteBytes()
+	}
+	wa.SSDBytes = db.ssd.Stats().TotalWriteBytes()
+	wa.SSDWALBytes = db.ssd.Stats().WriteBytes(device.CauseWAL)
+	return wa
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"bytes"
+	"time"
+
+	"pmblade/internal/kv"
+	"pmblade/internal/levels"
+	"pmblade/internal/sstable"
+)
+
+// Get returns the newest value of key, or ok=false when absent or deleted.
+func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	start := time.Now()
+	e, ok, tier, err := db.get(key, db.seq.Load())
+	if err != nil {
+		return nil, false, err
+	}
+	db.metrics.ReadLatency.Record(time.Since(start))
+	db.metrics.CountRead(tier)
+	p := db.route(key)
+	p.reads.Add(1)
+	if !ok || e.Kind == kv.KindDelete {
+		return nil, false, nil
+	}
+	return append([]byte(nil), e.Value...), true, nil
+}
+
+// get resolves a key at a snapshot, reporting the serving tier. It returns
+// tombstones to the caller (Kind).
+func (db *DB) get(key []byte, seq uint64) (kv.Entry, bool, Tier, error) {
+	p := db.route(key)
+
+	// 1. Active memtable + immutables, newest first.
+	mem, imms := p.memSnapshot()
+	if e, ok := mem.Get(key, seq); ok {
+		return e, true, TierMemtable, nil
+	}
+	for _, m := range imms {
+		if e, ok := m.Get(key, seq); ok {
+			return e, true, TierMemtable, nil
+		}
+	}
+
+	// 2. Level-0.
+	if p.l0 != nil {
+		e, ok, probed := p.l0.Get(key, seq)
+		db.metrics.L0TablesProbed.Add(int64(probed))
+		if ok {
+			return e, true, TierPM, nil
+		}
+	} else if p.leveled == nil {
+		l0 := p.l0ssdRef()
+		for _, t := range l0 {
+			if bytes.Compare(key, t.Smallest()) < 0 || bytes.Compare(key, t.Largest()) > 0 {
+				continue
+			}
+			e, ok, err := t.Get(key, seq)
+			if err != nil {
+				unrefAll(l0)
+				return kv.Entry{}, false, TierMiss, err
+			}
+			if ok {
+				unrefAll(l0)
+				return e, true, TierSSD, nil
+			}
+		}
+		unrefAll(l0)
+	}
+
+	// 3. SSD tier.
+	if p.leveled != nil {
+		e, ok, err := p.leveled.Get(key, seq)
+		if err != nil {
+			return kv.Entry{}, false, TierMiss, err
+		}
+		if ok {
+			return e, true, TierSSD, nil
+		}
+		return kv.Entry{}, false, TierMiss, nil
+	}
+	e, ok, err := p.run.Get(key, seq)
+	if err != nil {
+		return kv.Entry{}, false, TierMiss, err
+	}
+	if ok {
+		return e, true, TierSSD, nil
+	}
+	return kv.Entry{}, false, TierMiss, nil
+}
+
+// ScanResult is one visible key-value pair returned by Scan.
+type ScanResult struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit live entries with start <= key < end (nil end =
+// unbounded). It merges every tier of every intersecting partition.
+func (db *DB) Scan(start, end []byte, limit int) ([]ScanResult, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	begin := time.Now()
+	seq := db.seq.Load()
+	var out []ScanResult
+	for _, p := range db.partitionsInRange(start, end) {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		its, release := db.partitionIterators(p)
+		for _, it := range its {
+			if start != nil {
+				it.SeekGE(start)
+			} else {
+				it.SeekToFirst()
+			}
+		}
+		merged := kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+		for ; merged.Valid(); merged.Next() {
+			e := merged.Entry()
+			if end != nil && bytes.Compare(e.Key, end) >= 0 {
+				break
+			}
+			if e.Seq > seq || e.Kind == kv.KindDelete {
+				continue
+			}
+			out = append(out, ScanResult{
+				Key:   append([]byte(nil), e.Key...),
+				Value: append([]byte(nil), e.Value...),
+			})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		release()
+		p.reads.Add(1)
+	}
+	db.metrics.ScanLatency.Record(time.Since(begin))
+	return out, nil
+}
+
+// unrefAll releases a ref-held table snapshot.
+func unrefAll(ts []*sstable.Table) {
+	for _, t := range ts {
+		t.Unref()
+	}
+}
+
+// partitionIterators collects iterators over every tier of p, newest tiers
+// first (rank order breaks merge ties in favor of newer data). SSD tables
+// are reference-held; the caller must invoke release when done iterating.
+func (db *DB) partitionIterators(p *partition) (its []kv.Iterator, release func()) {
+	var held []*sstable.Table
+	mem, imms := p.memSnapshot()
+	its = append(its, mem.NewIterator())
+	for _, m := range imms {
+		its = append(its, m.NewIterator())
+	}
+	if p.l0 != nil {
+		its = append(its, p.l0.Iterators()...)
+	} else if p.leveled == nil {
+		l0 := p.l0ssdRef()
+		held = append(held, l0...)
+		for _, t := range l0 {
+			its = append(its, t.NewIterator())
+		}
+	}
+	if p.leveled != nil {
+		l0 := p.leveled.RefL0()
+		held = append(held, l0...)
+		for _, t := range l0 {
+			its = append(its, t.NewIterator())
+		}
+		for lv := 1; lv <= p.leveled.Levels(); lv++ {
+			ts := p.leveled.Run(lv).RefTables()
+			held = append(held, ts...)
+			for _, t := range ts {
+				its = append(its, t.NewIterator())
+			}
+		}
+	} else {
+		ts := p.run.RefTables()
+		held = append(held, ts...)
+		// The run is non-overlapping: a concatenating iterator seeks only
+		// the single covering table instead of every table.
+		its = append(its, levels.NewConcatIterator(ts))
+	}
+	return its, func() { unrefAll(held) }
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/level0"
+	"pmblade/internal/levels"
+	"pmblade/internal/memtable"
+	"pmblade/internal/pmem"
+	"pmblade/internal/pmtable"
+	"pmblade/internal/sched"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+	"pmblade/internal/wal"
+)
+
+// Manifest is the durable description of the engine's structure: which PM
+// tables and SSTables make up each partition, plus the WAL position. It is
+// written to a dedicated SSD file after every structural change, so a
+// restart can rebuild the exact table sets and replay the WAL on top.
+type Manifest struct {
+	Seq        uint64         `json:"seq"`
+	WALFile    uint64         `json:"wal_file"`
+	Partitions []PartManifest `json:"partitions"`
+}
+
+// PartManifest is one partition's table inventory.
+type PartManifest struct {
+	L0Unsorted []int64    `json:"l0_unsorted"` // PM table addrs, newest first
+	L0Sorted   []int64    `json:"l0_sorted"`   // PM table addrs, ascending
+	L0SSD      []uint64   `json:"l0_ssd"`      // SSTable files, newest first
+	Run        []uint64   `json:"run"`         // level-1 run files, ascending
+	Levels     [][]uint64 `json:"levels"`      // RocksDB mode: runs per level
+}
+
+// buildManifest snapshots the current structure. Callers hold maintMu so the
+// snapshot is consistent.
+func (db *DB) buildManifest() Manifest {
+	m := Manifest{Seq: db.seq.Load()}
+	if db.wal != nil {
+		m.WALFile = uint64(db.wal.File())
+	}
+	for _, p := range db.partitions {
+		var pm PartManifest
+		if p.l0 != nil {
+			unsorted, sorted := p.l0.Tables()
+			for _, t := range unsorted {
+				pm.L0Unsorted = append(pm.L0Unsorted, int64(t.Addr()))
+			}
+			for _, t := range sorted {
+				pm.L0Sorted = append(pm.L0Sorted, int64(t.Addr()))
+			}
+		}
+		for _, t := range p.l0ssdSnapshot() {
+			pm.L0SSD = append(pm.L0SSD, uint64(t.File()))
+		}
+		if p.leveled != nil {
+			for l := 1; l <= p.leveled.Levels(); l++ {
+				var files []uint64
+				for _, t := range p.leveled.Run(l).Tables() {
+					files = append(files, uint64(t.File()))
+				}
+				pm.Levels = append(pm.Levels, files)
+			}
+			// L0 of the leveled hierarchy rides in L0SSD.
+			pm.L0SSD = pm.L0SSD[:0]
+			for _, t := range p.leveled.L0Tables() {
+				pm.L0SSD = append(pm.L0SSD, uint64(t.File()))
+			}
+		} else if p.run != nil {
+			for _, t := range p.run.Tables() {
+				pm.Run = append(pm.Run, uint64(t.File()))
+			}
+		}
+		m.Partitions = append(m.Partitions, pm)
+	}
+	return m
+}
+
+// SaveManifest persists the current structure to a fresh SSD file and
+// returns its id. The previous manifest file, if any, is replaced.
+func (db *DB) SaveManifest() (ssd.FileID, error) {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	return db.saveManifestLocked()
+}
+
+func (db *DB) saveManifestLocked() (ssd.FileID, error) {
+	m := db.buildManifest()
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return 0, err
+	}
+	f := db.ssd.Create()
+	if _, err := db.ssd.Append(f, raw, device.CauseFlush); err != nil {
+		return 0, err
+	}
+	if err := db.ssd.Sync(f); err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// Checkpoint makes the current state durable and bounds recovery work:
+// every memtable is flushed to level-0, the WAL is rotated to a fresh file,
+// the manifest (now covering everything) is persisted, and only then is the
+// old log deleted. Recovery from the returned manifest replays an empty log.
+func (db *DB) Checkpoint() (ssd.FileID, error) {
+	if err := db.FlushAll(); err != nil {
+		return 0, err
+	}
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	var old *wal.Writer
+	if db.wal != nil {
+		old = db.wal
+		db.walMu.Lock()
+		db.wal = wal.NewWriter(db.ssd)
+		db.walMu.Unlock()
+	}
+	mf, err := db.saveManifestLocked()
+	if err != nil {
+		return 0, err
+	}
+	if old != nil {
+		old.Close()
+		old.Delete()
+	}
+	return mf, nil
+}
+
+// Recover rebuilds an engine over existing devices from a saved manifest:
+// PM tables and SSTables are reopened in place and the WAL is replayed into
+// the memtables. Config must match the one the data was written with.
+func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileID) (*DB, error) {
+	cfg = cfg.withDefaults()
+	size := sd.Size(manifestFile)
+	if size < 0 {
+		return nil, fmt.Errorf("engine: manifest file %d missing", manifestFile)
+	}
+	raw := make([]byte, size)
+	if err := sd.ReadAt(manifestFile, 0, raw, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("engine: manifest corrupt: %w", err)
+	}
+
+	db := &DB{cfg: cfg, ssd: sd, pm: pm, metrics: newMetrics()}
+	if cfg.BlockCacheBytes > 0 {
+		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
+	}
+	db.pool = sched.NewPool(cfg.SchedMode, cfg.Workers, cfg.QMax, sd)
+	db.seq.Store(m.Seq)
+
+	bounds := cfg.PartitionBoundaries
+	if len(m.Partitions) != len(bounds)+1 {
+		return nil, fmt.Errorf("engine: manifest has %d partitions, config wants %d",
+			len(m.Partitions), len(bounds)+1)
+	}
+	for i := 0; i <= len(bounds); i++ {
+		p := &partition{id: i, mem: memtable.New()}
+		if i > 0 {
+			p.lo = bounds[i-1]
+		}
+		if i < len(bounds) {
+			p.hi = bounds[i]
+		}
+		pmPart := m.Partitions[i]
+		if cfg.RocksDB {
+			p.leveled = levels.NewLeveled(4, cfg.L1TargetBytes, 10)
+			// AddL0 prepends, so walk the manifest's newest-first list in
+			// reverse to preserve recency order.
+			for j := len(pmPart.L0SSD) - 1; j >= 0; j-- {
+				t, err := sstable.Open(sd, ssd.FileID(pmPart.L0SSD[j]), db.cache)
+				if err != nil {
+					return nil, fmt.Errorf("engine: reopen L0 sstable %d: %w", pmPart.L0SSD[j], err)
+				}
+				p.leveled.AddL0(t)
+			}
+			for li, files := range pmPart.Levels {
+				var ts []*sstable.Table
+				for _, f := range files {
+					t, err := sstable.Open(sd, ssd.FileID(f), db.cache)
+					if err != nil {
+						return nil, fmt.Errorf("engine: reopen L%d sstable %d: %w", li+1, f, err)
+					}
+					ts = append(ts, t)
+				}
+				p.leveled.Run(li+1).Replace(nil, ts)
+			}
+		} else {
+			p.run = levels.NewRun()
+			var runTs []*sstable.Table
+			for _, f := range pmPart.Run {
+				t, err := sstable.Open(sd, ssd.FileID(f), db.cache)
+				if err != nil {
+					return nil, fmt.Errorf("engine: reopen run sstable %d: %w", f, err)
+				}
+				runTs = append(runTs, t)
+			}
+			p.run.Replace(nil, runTs)
+			for j := len(pmPart.L0SSD) - 1; j >= 0; j-- {
+				t, err := sstable.Open(sd, ssd.FileID(pmPart.L0SSD[j]), db.cache)
+				if err != nil {
+					return nil, err
+				}
+				p.addL0SSD(t)
+			}
+			if cfg.Level0OnPM {
+				if pm == nil {
+					return nil, fmt.Errorf("engine: config wants PM level-0 but no PM device supplied")
+				}
+				p.l0 = level0.New(pm, level0.Config{
+					Format:          cfg.PMTableFormat,
+					GroupSize:       cfg.GroupSize,
+					TargetTableSize: cfg.L0TableBytes,
+				})
+				var unsorted, sorted []*pmtable.Table
+				for _, a := range pmPart.L0Unsorted {
+					t, err := pmtable.Open(pm, pmem.Addr(a))
+					if err != nil {
+						return nil, fmt.Errorf("engine: reopen PM table @%d: %w", a, err)
+					}
+					unsorted = append(unsorted, t)
+				}
+				for _, a := range pmPart.L0Sorted {
+					t, err := pmtable.Open(pm, pmem.Addr(a))
+					if err != nil {
+						return nil, fmt.Errorf("engine: reopen PM table @%d: %w", a, err)
+					}
+					sorted = append(sorted, t)
+				}
+				p.l0.ReplaceAll(unsorted, sorted)
+			}
+		}
+		p.statsSince.Store(time.Now().UnixNano())
+		db.partitions = append(db.partitions, p)
+	}
+
+	// Replay the WAL into the memtables. Entries already flushed to level-0
+	// are re-applied; versioning makes that harmless (the newest sequence
+	// wins regardless of which tier holds it).
+	if !cfg.DisableWAL && m.WALFile != 0 {
+		maxSeq := m.Seq
+		_, err := wal.Replay(sd, ssd.FileID(m.WALFile), func(e kv.Entry) error {
+			p := db.route(e.Key)
+			p.mem.Add(e)
+			if e.Seq > maxSeq {
+				maxSeq = e.Seq
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: wal replay: %w", err)
+		}
+		db.seq.Store(maxSeq)
+		db.wal = wal.NewWriter(sd)
+	} else if !cfg.DisableWAL {
+		db.wal = wal.NewWriter(sd)
+	}
+	return db, nil
+}

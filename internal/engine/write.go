@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"time"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/memtable"
+	"pmblade/internal/pmem"
+	"pmblade/internal/pmtable"
+	"pmblade/internal/sstable"
+)
+
+// Put writes a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	return db.apply(kv.Entry{Key: key, Value: value, Kind: kv.KindSet})
+}
+
+// Delete writes a tombstone for key.
+func (db *DB) Delete(key []byte) error {
+	return db.apply(kv.Entry{Key: key, Kind: kv.KindDelete})
+}
+
+// Batch applies a group of entries atomically with respect to the WAL
+// (one group commit).
+type Batch struct {
+	entries []kv.Entry
+}
+
+// Put queues a set into the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.entries = append(b.entries, kv.Entry{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+		Kind:  kv.KindSet,
+	})
+}
+
+// Delete queues a tombstone into the batch.
+func (b *Batch) Delete(key []byte) {
+	b.entries = append(b.entries, kv.Entry{
+		Key:  append([]byte(nil), key...),
+		Kind: kv.KindDelete,
+	})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.entries = b.entries[:0] }
+
+// Apply commits the batch.
+func (db *DB) Apply(b *Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if len(b.entries) == 0 {
+		return nil
+	}
+	start := time.Now()
+	for i := range b.entries {
+		b.entries[i].Seq = db.seq.Add(1)
+	}
+	if db.wal != nil {
+		db.walMu.Lock()
+		err := db.wal.Append(b.entries...)
+		db.walMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	touched := map[*partition]bool{}
+	for i := range b.entries {
+		e := b.entries[i]
+		p := db.route(e.Key)
+		db.noteWrite(p, e)
+		p.mu.Lock()
+		p.mem.Add(e)
+		p.mu.Unlock()
+		touched[p] = true
+	}
+	for p := range touched {
+		if err := db.maybeFlush(p); err != nil {
+			return err
+		}
+	}
+	db.metrics.WriteLatency.Record(time.Since(start))
+	return nil
+}
+
+// apply commits a single entry.
+func (db *DB) apply(e kv.Entry) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	start := time.Now()
+	e.Seq = db.seq.Add(1)
+	e.Key = append([]byte(nil), e.Key...)
+	e.Value = append([]byte(nil), e.Value...)
+	if db.wal != nil {
+		db.walMu.Lock()
+		err := db.wal.Append(e)
+		db.walMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	p := db.route(e.Key)
+	db.noteWrite(p, e)
+	p.mu.Lock()
+	p.mem.Add(e)
+	p.mu.Unlock()
+	if err := db.maybeFlush(p); err != nil {
+		return err
+	}
+	db.metrics.WriteLatency.Record(time.Since(start))
+	return nil
+}
+
+// noteWrite updates n_i^w / n_i^u and user-byte accounting. An update is a
+// write whose key was already written since the last stats reset — exactly
+// the redundancy internal compaction can remove, which is what Eq. 2
+// estimates. The detector is a DRAM hash set, so the write path never probes
+// the storage tiers.
+func (db *DB) noteWrite(p *partition, e kv.Entry) {
+	db.userBytes.Add(int64(len(e.Key) + len(e.Value)))
+	p.writes.Add(1)
+	if p.noteKeyWrite(e.Key) {
+		p.updates.Add(1)
+	}
+}
+
+// maybeFlush rotates and flushes the partition's memtable when it exceeds
+// the budget, then lets the compaction strategy react (Algorithm 1).
+func (db *DB) maybeFlush(p *partition) error {
+	p.mu.RLock()
+	oversize := p.mem.ApproximateSize() >= db.cfg.MemtableBytes
+	p.mu.RUnlock()
+	if !oversize {
+		return nil
+	}
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	// Re-check under the maintenance lock: a concurrent writer may have
+	// flushed already.
+	p.mu.Lock()
+	if p.mem.ApproximateSize() < db.cfg.MemtableBytes {
+		p.mu.Unlock()
+		return nil
+	}
+	imm := p.mem
+	p.mem = memtable.New()
+	p.imm = append([]*memtable.Memtable{imm}, p.imm...)
+	p.mu.Unlock()
+
+	if err := db.flushImmutables(p); err != nil {
+		return err
+	}
+	return db.runCompactionStrategy(p)
+}
+
+// FlushAll force-flushes every partition's memtable (test and shutdown
+// support) and runs the compaction strategy afterwards.
+func (db *DB) FlushAll() error {
+	db.maintMu.Lock()
+	defer db.maintMu.Unlock()
+	for _, p := range db.partitions {
+		p.mu.Lock()
+		if !p.mem.Empty() {
+			p.imm = append([]*memtable.Memtable{p.mem}, p.imm...)
+			p.mem = memtable.New()
+		}
+		p.mu.Unlock()
+		if err := db.flushImmutables(p); err != nil {
+			return err
+		}
+		if err := db.runCompactionStrategy(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushImmutables performs minor compactions: every immutable memtable of p
+// becomes a level-0 table (PM table, or SSTable in the SSD-level-0 modes).
+// Immutables flush oldest-first so level-0 recency order is preserved.
+func (db *DB) flushImmutables(p *partition) error {
+	p.mu.Lock()
+	imms := p.imm
+	p.imm = nil
+	p.mu.Unlock()
+	for i := len(imms) - 1; i >= 0; i-- {
+		if err := db.flushOne(p, imms[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOne writes one immutable memtable to level-0. Shadowed versions are
+// dropped at flush (as RocksDB does absent snapshots): only the newest
+// version of each key leaves DRAM.
+func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
+	if m.Empty() {
+		return nil
+	}
+	entries := collectEntries(kv.NewDedupIterator(m.NewIterator(), false))
+	db.metrics.FlushCount.Add(1)
+	switch {
+	case p.l0 != nil: // PM level-0
+		res, err := pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
+		if err == nil {
+			p.l0.AddUnsorted(res.Table)
+			return nil
+		}
+		if err != pmem.ErrOutOfSpace {
+			return err
+		}
+		// PM is full: force a major compaction to make room, then retry
+		// once. This is the write-stall path; its cost lands on the writer.
+		stall := time.Now()
+		if err := db.majorCompactForSpace(); err != nil {
+			return err
+		}
+		db.metrics.WriteStallNanos.Add(int64(time.Since(stall)))
+		res, err = pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
+		if err != nil {
+			return err
+		}
+		p.l0.AddUnsorted(res.Table)
+		return nil
+	case p.leveled != nil: // RocksDB mode
+		t, err := buildSSTable(db, entries, device.CauseFlush)
+		if err != nil {
+			return err
+		}
+		p.leveled.AddL0(t)
+		return nil
+	default: // PMBlade-SSD: SSTable level-0
+		t, err := buildSSTable(db, entries, device.CauseFlush)
+		if err != nil {
+			return err
+		}
+		p.addL0SSD(t)
+		return nil
+	}
+}
+
+// buildSSTable writes entries (sorted) as one SSTable.
+func buildSSTable(db *DB, entries []kv.Entry, cause device.Cause) (*sstable.Table, error) {
+	b := sstable.NewBuilder(db.ssd, cause)
+	for _, e := range entries {
+		if err := b.Add(e); err != nil {
+			b.Abandon()
+			return nil, err
+		}
+	}
+	return b.Finish()
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pmblade/internal/engine"
+	"pmblade/internal/matrixkv"
+	"pmblade/internal/pmem"
+	"pmblade/internal/ssd"
+	"pmblade/internal/ycsb"
+)
+
+// Fig12Result: YCSB throughput per system per workload.
+type Fig12Result struct {
+	Workloads []string
+	Systems   []string
+	// Throughput[system][workload index] in ops/sec.
+	Throughput map[string][]float64
+}
+
+// kvStore is the minimal interface the YCSB driver needs.
+type kvStore interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, bool, error)
+	ScanN(start []byte, n int) error
+}
+
+type engineStore struct{ db *engine.DB }
+
+func (s engineStore) Put(k, v []byte) error              { return s.db.Put(k, v) }
+func (s engineStore) Get(k []byte) ([]byte, bool, error) { return s.db.Get(k) }
+func (s engineStore) ScanN(start []byte, n int) error {
+	_, err := s.db.Scan(start, nil, n)
+	return err
+}
+
+type matrixStore struct{ db *matrixkv.DB }
+
+func (s matrixStore) Put(k, v []byte) error              { return s.db.Put(k, v) }
+func (s matrixStore) Get(k []byte) ([]byte, bool, error) { return s.db.Get(k) }
+func (s matrixStore) ScanN(start []byte, n int) error {
+	_, err := s.db.Scan(start, nil, n)
+	return err
+}
+
+// runYCSB drives one workload phase and returns ops/sec.
+func runYCSB(store kvStore, w *ycsb.Workload, ops int) float64 {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		op := w.Next()
+		switch op.Kind {
+		case ycsb.OpRead:
+			if _, _, err := store.Get(op.Key); err != nil {
+				panic(err)
+			}
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			if err := store.Put(op.Key, op.Value); err != nil {
+				panic(err)
+			}
+		case ycsb.OpScan:
+			if err := store.ScanN(op.Key, op.ScanLen); err != nil {
+				panic(err)
+			}
+		case ycsb.OpRMW:
+			if _, _, err := store.Get(op.Key); err != nil {
+				panic(err)
+			}
+			if err := store.Put(op.Key, op.Value); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return float64(ops) / time.Since(start).Seconds()
+}
+
+// RunFig12 reproduces Figure 12: YCSB Load + workloads A-F across PMBlade,
+// RocksDB, MatrixKV-8GB and MatrixKV-80GB (PM sizes scaled at the paper's
+// 1:10 ratio). Throughput is reported normalized to RocksDB per workload.
+func RunFig12(s Scale, w io.Writer) (Fig12Result, Report) {
+	rep := Report{ID: "fig12", Title: "Normalized throughput under YCSB workloads"}
+	header(w, "Figure 12", rep.Title)
+
+	workloads := []string{"load", "a", "b", "c", "d", "e", "f"}
+	systems := []string{SysPMBlade, SysRocksDB, SysMatrixKV8, SysMatrixKV80}
+	res := Fig12Result{Workloads: workloads, Systems: systems, Throughput: map[string][]float64{}}
+
+	records := uint64(s.n(40000))
+	opsPerWorkload := s.n(5000)
+	valSize := 512
+	// PM sizes follow the paper's ratios: the big PM holds ~40% of the
+	// loaded dataset (80 GB vs 200 GB), the small one a tenth of that.
+	dataBytes := int64(records) * int64(valSize+32)
+	bigPM := dataBytes * 2 / 5
+	if bigPM < 8<<20 {
+		bigPM = 8 << 20 // floor so memtables and tables fit at tiny scales
+	}
+	smallPM := bigPM / 10
+
+	makeStore := func(sys string) (kvStore, func()) {
+		switch sys {
+		case SysMatrixKV8, SysMatrixKV80:
+			pmCap := smallPM
+			if sys == SysMatrixKV80 {
+				pmCap = bigPM
+			}
+			db := matrixkv.Open(matrixkv.Config{
+				PMCapacity:    pmCap,
+				PMProfile:     pmem.OptaneProfile,
+				SSDProfile:    ssd.NVMeProfile,
+				MemtableBytes: 128 << 10,
+				DisableWAL:    true,
+			})
+			return matrixStore{db}, func() {}
+		default:
+			cfg := SystemConfig(sys, EngineParams{
+				PMCapacity: bigPM, MemtableBytes: 128 << 10, Realistic: true,
+			})
+			db, err := engine.Open(cfg)
+			if err != nil {
+				panic(err)
+			}
+			return engineStore{db}, func() { db.Close() }
+		}
+	}
+
+	for _, sys := range systems {
+		store, closer := makeStore(sys)
+		// Load phase (measured, like the paper's Load bar).
+		loadW, err := ycsb.New("load", 0, valSize, 1)
+		if err != nil {
+			panic(err)
+		}
+		loadTput := runYCSB(store, loadW, int(records))
+		res.Throughput[sys] = append(res.Throughput[sys], loadTput)
+		// A-F phases over the loaded records.
+		for _, name := range workloads[1:] {
+			wk, err := ycsb.New(name, records, valSize, 2)
+			if err != nil {
+				panic(err)
+			}
+			res.Throughput[sys] = append(res.Throughput[sys], runYCSB(store, wk, opsPerWorkload))
+		}
+		closer()
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprint(tw, "system")
+	for _, wl := range workloads {
+		fmt.Fprintf(tw, "\t%s", wl)
+	}
+	fmt.Fprintln(tw)
+	for _, sys := range systems {
+		fmt.Fprint(tw, sys)
+		for wi := range workloads {
+			norm := res.Throughput[sys][wi] / res.Throughput[SysRocksDB][wi]
+			fmt.Fprintf(tw, "\t%.2fx", norm)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	line(&rep, w, "shape: PMBlade leads every workload (paper: Load 3.5x RocksDB / 1.8x MatrixKV-8; A 1.5x / 1.3x; E 2.0x / 2.4x)")
+	return res, rep
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment and returns its report.
+type Runner func(s Scale, w io.Writer) Report
+
+// Registry maps experiment ids to runners (every table and figure of the
+// paper's evaluation).
+var Registry = map[string]Runner{
+	"table1": func(s Scale, w io.Writer) Report { _, r := RunTable1(s, w); return r },
+	"fig2a":  func(s Scale, w io.Writer) Report { _, r := RunFig2a(s, w); return r },
+	"table3": func(s Scale, w io.Writer) Report { _, r := RunTable3(s, w); return r },
+	"fig6a":  func(s Scale, w io.Writer) Report { _, r := RunFig6a(s, w); return r },
+	"fig6b":  func(s Scale, w io.Writer) Report { _, r := RunFig6b(s, w); return r },
+	"table4": func(s Scale, w io.Writer) Report { _, r := RunTable4(s, w); return r },
+	"table5": func(s Scale, w io.Writer) Report { _, r := RunTable5(s, w); return r },
+	"fig7a":  func(s Scale, w io.Writer) Report { _, r := RunFig7a(s, w); return r },
+	"fig7b":  func(s Scale, w io.Writer) Report { _, r := RunFig7b(s, w); return r },
+	"fig8a":  func(s Scale, w io.Writer) Report { _, r := RunFig8a(s, w); return r },
+	"fig8b":  func(s Scale, w io.Writer) Report { _, r := RunFig8b(s, w); return r },
+	"fig9":   func(s Scale, w io.Writer) Report { _, r := RunFig9(s, w); return r },
+	"fig10":  func(s Scale, w io.Writer) Report { _, r := RunFig10(s, w); return r },
+	"fig11":  func(s Scale, w io.Writer) Report { _, r := RunFig11(s, w); return r },
+	"fig12":  func(s Scale, w io.Writer) Report { _, r := RunFig12(s, w); return r },
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment at the given scale.
+func RunAll(s Scale, w io.Writer) []Report {
+	order := []string{
+		"table1", "fig2a", "table3", "fig6a", "fig6b", "table4", "table5",
+		"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12",
+	}
+	var reports []Report
+	for _, id := range order {
+		reports = append(reports, Registry[id](s, w))
+	}
+	return reports
+}
+
+// Run executes one experiment by id.
+func Run(id string, s Scale, w io.Writer) (Report, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(s, w), nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pmblade/internal/sched"
+	"pmblade/internal/ssd"
+)
+
+func TestT3Debug(t *testing.T) {
+	profile := ssd.Profile{
+		ReadLatency:    1 * time.Millisecond,
+		ReadBandwidth:  100 << 20,
+		WriteLatency:   2 * time.Millisecond,
+		WriteBandwidth: 100 << 20,
+		Parallelism:    1,
+	}
+	for _, threads := range []int{1, 2} {
+		dev := ssd.New(profile)
+		pool := sched.NewPool(sched.ModeThread, 1, 4, dev)
+		var tasks []sched.Task
+		for i := 0; i < threads; i++ {
+			tasks = append(tasks, compactionTask(dev, mergeRuns(4, 1200, int64(i+1)), sched.ModeThread))
+		}
+		dev.Stats().ResetWindow()
+		start := time.Now()
+		pool.Run(tasks)
+		wall := time.Since(start)
+		fmt.Printf("threads=%d wall=%v cpuBusy=%v devBusy=%v\n",
+			threads, wall, pool.CPUBusy(), dev.Stats().BusyTime())
+	}
+}

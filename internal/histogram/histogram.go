@@ -1,0 +1,222 @@
+// Package histogram implements a concurrent latency histogram with
+// logarithmically-spaced buckets, supporting mean and percentile queries.
+// It is used by the experiment harness to report avg / p50 / p99 / p99.9
+// latencies the way the paper does.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers 1ns .. ~17.6s with 4 sub-buckets per power of two.
+const (
+	subBucketBits = 2
+	subBuckets    = 1 << subBucketBits
+	numBuckets    = 64 * subBuckets
+)
+
+// Histogram records durations. The zero value is ready to use and safe for
+// concurrent recording.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored as negated value so zero-value means "unset"
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+func bucketFor(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	// Index = log2(ns) * subBuckets + next subBucketBits bits.
+	log := 63 - leadingZeros(uint64(ns))
+	var sub int64
+	if log >= subBucketBits {
+		sub = (ns >> (log - subBucketBits)) & (subBuckets - 1)
+	} else {
+		sub = (ns << (subBucketBits - log)) & (subBuckets - 1)
+	}
+	idx := log*subBuckets + int(sub)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound (ns) of bucket idx; used to report
+// percentile values.
+func bucketLow(idx int) int64 {
+	log := idx / subBuckets
+	sub := int64(idx % subBuckets)
+	base := int64(1) << uint(log)
+	if log >= subBucketBits {
+		return base + sub<<(uint(log)-subBucketBits)
+	}
+	return base
+}
+
+func leadingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	if x <= 0x00000000FFFFFFFF {
+		n += 32
+		x <<= 32
+	}
+	if x <= 0x0000FFFFFFFFFFFF {
+		n += 16
+		x <<= 16
+	}
+	if x <= 0x00FFFFFFFFFFFFFF {
+		n += 8
+		x <<= 8
+	}
+	if x <= 0x0FFFFFFFFFFFFFFF {
+		n += 4
+		x <<= 4
+	}
+	if x <= 0x3FFFFFFFFFFFFFFF {
+		n += 2
+		x <<= 2
+	}
+	if x <= 0x7FFFFFFFFFFFFFFF {
+		n++
+	}
+	return n
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if cur != 0 && -cur <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(cur, -ns) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean reports the average observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Min reports the smallest observation, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	v := h.min.Load()
+	if v == 0 {
+		return 0
+	}
+	return time.Duration(-v)
+}
+
+// Percentile reports the approximate value at quantile q in [0,1].
+func (h *Histogram) Percentile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			v := bucketLow(i)
+			if mx := h.max.Load(); v > mx {
+				v = mx
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+	h.max.Store(0)
+	h.min.Store(0)
+}
+
+// Merge adds the contents of other into h. Neither histogram may be
+// concurrently recorded to during the merge if an exact snapshot is needed.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	h.count.Add(other.count.Load())
+	for {
+		cur := h.max.Load()
+		om := other.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	if om := other.min.Load(); om != 0 {
+		for {
+			cur := h.min.Load()
+			if cur != 0 && -cur <= -om {
+				break
+			}
+			if h.min.CompareAndSwap(cur, om) {
+				break
+			}
+		}
+	}
+}
+
+// String summarizes the histogram for logs and experiment tables.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(0.50), h.Percentile(0.99),
+		h.Percentile(0.999), h.Max())
+}

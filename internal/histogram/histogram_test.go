@@ -1,0 +1,117 @@
+package histogram
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.99) != 0 || h.Min() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	h := New()
+	h.Record(10 * time.Microsecond)
+	h.Record(20 * time.Microsecond)
+	h.Record(30 * time.Microsecond)
+	if h.Mean() != 20*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 30*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Min() != 10*time.Microsecond {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	h := New()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Percentile(0.50)
+	p99 := h.Percentile(0.99)
+	p999 := h.Percentile(0.999)
+	// Log buckets give approximate values; check ordering and ballpark.
+	if !(p50 <= p99 && p99 <= p999) {
+		t.Fatalf("percentiles not monotone: %v %v %v", p50, p99, p999)
+	}
+	if p50 < 300*time.Microsecond || p50 > 700*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	if p999 > h.Max() {
+		t.Fatalf("p999 %v exceeds max %v", p999, h.Max())
+	}
+	// Out-of-range quantiles clamp.
+	if h.Percentile(-1) > h.Percentile(2) {
+		t.Fatal("clamped quantiles inverted")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	const per = 10000
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8*per {
+		t.Fatalf("count = %d want %d", h.Count(), 8*per)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	if a.Min() != time.Millisecond {
+		t.Fatalf("merged min = %v", a.Min())
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	last := -1
+	for ns := int64(1); ns < 1e9; ns *= 3 {
+		b := bucketFor(ns)
+		if b < last {
+			t.Fatalf("bucketFor not monotone at %d", ns)
+		}
+		last = b
+		if low := bucketLow(b); low > ns {
+			t.Fatalf("bucketLow(%d)=%d exceeds value %d", b, low, ns)
+		}
+	}
+}

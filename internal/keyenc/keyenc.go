@@ -1,0 +1,141 @@
+// Package keyenc encodes the composite keys a database layer stores in the
+// key-value engine: record keys {tableID, primaryKey} and secondary-index
+// keys {tableID, indexID, indexValue, primaryKey}. The encoding is
+// order-preserving so range scans over a table or an index prefix work, and
+// keys within one table share a long common prefix — the property the PM
+// table's prefix compression exploits (Figure 2(b)).
+package keyenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Tags distinguish record keys from index keys within a table's keyspace.
+const (
+	tagRecord byte = 'r'
+	tagIndex  byte = 'i'
+)
+
+// ErrMalformed is returned when decoding a key that was not produced by this
+// package.
+var ErrMalformed = errors.New("keyenc: malformed key")
+
+// RecordKey encodes {tableID, pk}: "t" + tableID(8B BE) + "r" + pk.
+func RecordKey(tableID uint64, pk []byte) []byte {
+	k := make([]byte, 0, 10+len(pk))
+	k = append(k, 't')
+	k = binary.BigEndian.AppendUint64(k, tableID)
+	k = append(k, tagRecord)
+	return append(k, pk...)
+}
+
+// IndexKey encodes {tableID, indexID, value, pk}. The value is
+// length-prefix-escaped so (value, pk) pairs sort correctly even when values
+// have different lengths: every value byte 0x00 is escaped as 0x00 0xFF and
+// the value terminates with 0x00 0x01.
+func IndexKey(tableID uint64, indexID uint32, value, pk []byte) []byte {
+	k := make([]byte, 0, 16+len(value)+len(pk)+4)
+	k = append(k, 't')
+	k = binary.BigEndian.AppendUint64(k, tableID)
+	k = append(k, tagIndex)
+	k = binary.BigEndian.AppendUint32(k, indexID)
+	k = appendEscaped(k, value)
+	return append(k, pk...)
+}
+
+func appendEscaped(dst, v []byte) []byte {
+	for _, b := range v {
+		if b == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+func decodeEscaped(src []byte) (value, rest []byte, err error) {
+	var out []byte
+	for i := 0; i < len(src); {
+		b := src[i]
+		if b != 0x00 {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+1 >= len(src) {
+			return nil, nil, ErrMalformed
+		}
+		switch src[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i += 2
+		case 0x01:
+			return out, src[i+2:], nil
+		default:
+			return nil, nil, ErrMalformed
+		}
+	}
+	return nil, nil, ErrMalformed
+}
+
+// IndexPrefix encodes the prefix covering all entries of one index, for scans.
+func IndexPrefix(tableID uint64, indexID uint32) []byte {
+	k := make([]byte, 0, 14)
+	k = append(k, 't')
+	k = binary.BigEndian.AppendUint64(k, tableID)
+	k = append(k, tagIndex)
+	return binary.BigEndian.AppendUint32(k, indexID)
+}
+
+// IndexValuePrefix encodes the prefix covering all pk entries for one index
+// value (an equality lookup on the index).
+func IndexValuePrefix(tableID uint64, indexID uint32, value []byte) []byte {
+	k := IndexPrefix(tableID, indexID)
+	return appendEscaped(k, value)
+}
+
+// TablePrefix encodes the prefix covering all record keys of a table.
+func TablePrefix(tableID uint64) []byte {
+	k := make([]byte, 0, 10)
+	k = append(k, 't')
+	k = binary.BigEndian.AppendUint64(k, tableID)
+	return append(k, tagRecord)
+}
+
+// ParseRecordKey decodes a record key.
+func ParseRecordKey(k []byte) (tableID uint64, pk []byte, err error) {
+	if len(k) < 10 || k[0] != 't' || k[9] != tagRecord {
+		return 0, nil, ErrMalformed
+	}
+	return binary.BigEndian.Uint64(k[1:9]), k[10:], nil
+}
+
+// ParseIndexKey decodes an index key.
+func ParseIndexKey(k []byte) (tableID uint64, indexID uint32, value, pk []byte, err error) {
+	if len(k) < 14 || k[0] != 't' || k[9] != tagIndex {
+		return 0, 0, nil, nil, ErrMalformed
+	}
+	tableID = binary.BigEndian.Uint64(k[1:9])
+	indexID = binary.BigEndian.Uint32(k[10:14])
+	value, pk, err = decodeEscaped(k[14:])
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("index key %x: %w", k, err)
+	}
+	return tableID, indexID, value, pk, nil
+}
+
+// PrefixEnd returns the smallest key greater than every key having the given
+// prefix, or nil if no such key exists (prefix is all 0xFF).
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package keyenc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordKeyRoundTrip(t *testing.T) {
+	k := RecordKey(42, []byte("order-123"))
+	tid, pk, err := ParseRecordKey(k)
+	if err != nil || tid != 42 || string(pk) != "order-123" {
+		t.Fatalf("round trip: %d %q %v", tid, pk, err)
+	}
+}
+
+func TestIndexKeyRoundTrip(t *testing.T) {
+	val := []byte{1, 0, 2, 0, 0, 3}
+	k := IndexKey(7, 3, val, []byte("pk-9"))
+	tid, iid, v, pk, err := ParseIndexKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid != 7 || iid != 3 || !bytes.Equal(v, val) || string(pk) != "pk-9" {
+		t.Fatalf("got %d %d %v %q", tid, iid, v, pk)
+	}
+}
+
+func TestIndexKeyOrderPreserving(t *testing.T) {
+	// Index keys must sort by (value, pk) even with embedded zeros and
+	// different value lengths.
+	a := IndexKey(1, 1, []byte("ab"), []byte("p1"))
+	b := IndexKey(1, 1, []byte("ab\x00"), []byte("p0"))
+	c := IndexKey(1, 1, []byte("abc"), []byte("p0"))
+	if !(bytes.Compare(a, b) < 0 && bytes.Compare(b, c) < 0) {
+		t.Fatalf("order violated: a<b:%v b<c:%v", bytes.Compare(a, b) < 0, bytes.Compare(b, c) < 0)
+	}
+}
+
+func TestQuickIndexOrderMatchesValueOrder(t *testing.T) {
+	check := func(v1, v2 []byte) bool {
+		k1 := IndexKey(5, 2, v1, nil)
+		k2 := IndexKey(5, 2, v2, nil)
+		cv := bytes.Compare(v1, v2)
+		ck := bytes.Compare(k1, k2)
+		if cv == 0 {
+			return ck == 0
+		}
+		return (cv < 0) == (ck < 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexValuePrefixCoversExactlyThatValue(t *testing.T) {
+	p := IndexValuePrefix(1, 1, []byte("ab"))
+	kSame := IndexKey(1, 1, []byte("ab"), []byte("zzz"))
+	kLonger := IndexKey(1, 1, []byte("abc"), []byte("a"))
+	if !bytes.HasPrefix(kSame, p) {
+		t.Fatal("key with same value must match the value prefix")
+	}
+	if bytes.HasPrefix(kLonger, p) {
+		t.Fatal("key with extended value must NOT match the value prefix")
+	}
+}
+
+func TestTableAndIndexKeysShareTablePrefix(t *testing.T) {
+	// All record keys of a table share >= metaPrefix bytes — the property PM
+	// tables' meta layer exploits.
+	k1 := RecordKey(9, []byte("a"))
+	k2 := RecordKey(9, []byte("zzzz"))
+	if !bytes.Equal(k1[:10], k2[:10]) {
+		t.Fatal("record keys of one table must share their 10-byte prefix")
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}},
+		{[]byte{1, 0xFF}, []byte{2}},
+		{[]byte{0xFF, 0xFF}, nil},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixEnd(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+	// Every key with prefix p is < PrefixEnd(p).
+	p := []byte{5, 6}
+	end := PrefixEnd(p)
+	long := append(append([]byte(nil), p...), 0xFF, 0xFF, 0xFF)
+	if bytes.Compare(long, end) >= 0 {
+		t.Fatal("extended key should sort below PrefixEnd")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, _, err := ParseRecordKey([]byte("junk")); err == nil {
+		t.Error("short record key must fail")
+	}
+	if _, _, _, _, err := ParseIndexKey([]byte("junk")); err == nil {
+		t.Error("short index key must fail")
+	}
+	// Index key whose escaped value is truncated.
+	k := IndexKey(1, 1, []byte("ab"), []byte("pk"))
+	if _, _, _, _, err := ParseIndexKey(k[:15]); err == nil {
+		t.Error("truncated index key must fail")
+	}
+}

@@ -1,0 +1,180 @@
+package kv
+
+import "container/heap"
+
+// MergingIterator merges several iterators in Compare order. Iterators
+// supplied earlier take precedence at equal internal order (which cannot
+// happen with unique sequence numbers, but keeps the merge deterministic).
+type MergingIterator struct {
+	h mergeHeap
+}
+
+type mergeItem struct {
+	it   Iterator
+	rank int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := Compare(h[i].it.Entry(), h[j].it.Entry())
+	if c != 0 {
+		return c < 0
+	}
+	return h[i].rank < h[j].rank
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewMergingIterator combines its. The result starts positioned at the first
+// entry (as if SeekToFirst had been called).
+func NewMergingIterator(its ...Iterator) *MergingIterator {
+	for _, it := range its {
+		it.SeekToFirst()
+	}
+	return NewMergingIteratorAt(its...)
+}
+
+// NewMergingIteratorAt combines sources that the caller has already
+// positioned (e.g. with SeekGE); it does not rewind them.
+func NewMergingIteratorAt(its ...Iterator) *MergingIterator {
+	m := &MergingIterator{}
+	for rank, it := range its {
+		if it.Valid() {
+			m.h = append(m.h, mergeItem{it: it, rank: rank})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Valid implements Iterator.
+func (m *MergingIterator) Valid() bool { return len(m.h) > 0 }
+
+// Entry implements Iterator.
+func (m *MergingIterator) Entry() Entry { return m.h[0].it.Entry() }
+
+// Next implements Iterator.
+func (m *MergingIterator) Next() {
+	top := &m.h[0]
+	top.it.Next()
+	if top.it.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// SeekToFirst implements Iterator.
+func (m *MergingIterator) SeekToFirst() {
+	items := m.h
+	m.h = m.h[:0]
+	seen := make(map[int]bool, len(items))
+	for _, item := range items {
+		if seen[item.rank] {
+			continue
+		}
+		seen[item.rank] = true
+		item.it.SeekToFirst()
+		if item.it.Valid() {
+			m.h = append(m.h, item)
+		}
+	}
+	heap.Init(&m.h)
+}
+
+// SeekGE implements Iterator. Note: iterators that were exhausted by earlier
+// advancement are re-seeked too, so SeekGE may revive them.
+func (m *MergingIterator) SeekGE(key []byte) {
+	// Rebuild from every source we were constructed with: sources currently
+	// exhausted may contain keys >= key.
+	for i := range m.h {
+		m.h[i].it.SeekGE(key)
+	}
+	live := m.h[:0]
+	for _, item := range m.h {
+		if item.it.Valid() {
+			live = append(live, item)
+		}
+	}
+	m.h = live
+	heap.Init(&m.h)
+}
+
+// DedupIterator wraps an iterator in Compare order and yields only the newest
+// version of each user key, optionally dropping tombstones (for a
+// bottom-level merge where deleted keys can vanish entirely).
+type DedupIterator struct {
+	in            Iterator
+	dropTombstone bool
+	cur           Entry
+	curKey        []byte
+	valid         bool
+}
+
+// NewDedupIterator wraps in; in must already be positioned via SeekToFirst by
+// the caller or the returned iterator's SeekToFirst.
+func NewDedupIterator(in Iterator, dropTombstones bool) *DedupIterator {
+	d := &DedupIterator{in: in, dropTombstone: dropTombstones}
+	d.advance()
+	return d
+}
+
+// advance moves to the next newest-version entry.
+func (d *DedupIterator) advance() {
+	for d.in.Valid() {
+		e := d.in.Entry()
+		if d.curKey != nil && string(e.Key) == string(d.curKey) {
+			d.in.Next()
+			continue // stale version of the same key
+		}
+		// Newest version of a new key.
+		d.curKey = append(d.curKey[:0], e.Key...)
+		if d.dropTombstone && e.Kind == KindDelete {
+			d.in.Next()
+			continue
+		}
+		// Copy out: the source may invalidate on Next.
+		d.cur = Entry{
+			Key:   append([]byte(nil), e.Key...),
+			Value: append([]byte(nil), e.Value...),
+			Seq:   e.Seq,
+			Kind:  e.Kind,
+		}
+		d.valid = true
+		d.in.Next()
+		return
+	}
+	d.valid = false
+}
+
+// Valid implements Iterator.
+func (d *DedupIterator) Valid() bool { return d.valid }
+
+// Entry implements Iterator.
+func (d *DedupIterator) Entry() Entry { return d.cur }
+
+// Next implements Iterator.
+func (d *DedupIterator) Next() { d.advance() }
+
+// SeekToFirst implements Iterator.
+func (d *DedupIterator) SeekToFirst() {
+	d.in.SeekToFirst()
+	d.curKey = nil
+	d.advance()
+}
+
+// SeekGE implements Iterator.
+func (d *DedupIterator) SeekGE(key []byte) {
+	d.in.SeekGE(key)
+	d.curKey = nil
+	d.advance()
+}

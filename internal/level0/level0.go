@@ -1,0 +1,308 @@
+// Package level0 manages one partition's PM-resident level-0: the set of
+// unsorted PM tables (flush order, newest first) and the sorted run produced
+// by internal compaction (mutually non-overlapping tables). It implements
+// the lookup path across both sets and the internal-compaction mechanics of
+// Section IV-B: merge all tables, drop redundant versions, rebuild a sorted
+// run — entirely inside persistent memory.
+package level0
+
+import (
+	"bytes"
+	"sync"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/pmem"
+	"pmblade/internal/pmtable"
+)
+
+// Config controls table construction during internal compaction.
+type Config struct {
+	// Format is the PM table layout to build.
+	Format pmtable.Format
+	// GroupSize is the entries-per-group for grouped formats.
+	GroupSize int
+	// TargetTableSize splits the sorted run into tables of roughly this many
+	// bytes of raw payload; 0 means one table per compaction.
+	TargetTableSize int64
+}
+
+// Level0 is one partition's level-0. Methods are safe for concurrent use;
+// internal compaction swaps table sets atomically under the lock while
+// readers hold a snapshot.
+type Level0 struct {
+	dev *pmem.Device
+	cfg Config
+
+	mu       sync.RWMutex
+	unsorted []*pmtable.Table // newest first
+	sorted   []*pmtable.Table // ascending, non-overlapping
+}
+
+// New creates an empty level-0 on dev.
+func New(dev *pmem.Device, cfg Config) *Level0 {
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = pmtable.DefaultGroupSize
+	}
+	return &Level0{dev: dev, cfg: cfg}
+}
+
+// AddUnsorted installs a freshly flushed PM table as the newest unsorted
+// table (minor compaction's output).
+func (l *Level0) AddUnsorted(t *pmtable.Table) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.unsorted = append([]*pmtable.Table{t}, l.unsorted...)
+}
+
+// UnsortedCount reports n_i for the cost model.
+func (l *Level0) UnsortedCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.unsorted)
+}
+
+// SortedCount reports m_i for the cost model.
+func (l *Level0) SortedCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.sorted)
+}
+
+// SizeBytes reports the partition's PM footprint s_i.
+func (l *Level0) SizeBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var t int64
+	for _, tb := range l.unsorted {
+		t += tb.SizeBytes()
+	}
+	for _, tb := range l.sorted {
+		t += tb.SizeBytes()
+	}
+	return t
+}
+
+// EntryCount reports total entries across all tables (redundancy included).
+func (l *Level0) EntryCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, tb := range l.unsorted {
+		n += tb.Len()
+	}
+	for _, tb := range l.sorted {
+		n += tb.Len()
+	}
+	return n
+}
+
+// snapshot returns the current table sets without copying tables.
+func (l *Level0) snapshot() (unsorted, sorted []*pmtable.Table) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*pmtable.Table(nil), l.unsorted...),
+		append([]*pmtable.Table(nil), l.sorted...)
+}
+
+// Get searches the newest-first unsorted tables, then the sorted run. It
+// returns the newest version visible at seq, honoring tombstones (the caller
+// interprets Kind). tablesProbed reports how many PM tables were touched —
+// the read-amplification signal Figure 7(a) measures.
+func (l *Level0) Get(key []byte, seq uint64) (e kv.Entry, ok bool, tablesProbed int) {
+	unsorted, sorted := l.snapshot()
+	// Unsorted tables must all be consulted newest-first: any of them may
+	// hold a newer version (this is level-0 read amplification).
+	var best kv.Entry
+	found := false
+	for _, t := range unsorted {
+		tablesProbed++
+		if cand, hit := t.Get(key, seq); hit {
+			if !found || cand.Seq > best.Seq {
+				best, found = cand, true
+			}
+		}
+	}
+	if found {
+		return best, true, tablesProbed
+	}
+	// Sorted run: at most one table overlaps the key.
+	for _, t := range sorted {
+		if bytes.Compare(key, t.Smallest()) >= 0 && bytes.Compare(key, t.Largest()) <= 0 {
+			tablesProbed++
+			if cand, hit := t.Get(key, seq); hit {
+				return cand, true, tablesProbed
+			}
+			break
+		}
+	}
+	return kv.Entry{}, false, tablesProbed
+}
+
+// Iterators returns iterators over every table (unsorted newest first, then
+// the sorted run) for merge reads and compaction.
+func (l *Level0) Iterators() []kv.Iterator {
+	unsorted, sorted := l.snapshot()
+	its := make([]kv.Iterator, 0, len(unsorted)+len(sorted))
+	for _, t := range unsorted {
+		its = append(its, t.NewIterator())
+	}
+	for _, t := range sorted {
+		its = append(its, t.NewIterator())
+	}
+	return its
+}
+
+// CompactionStats reports what an internal compaction accomplished.
+type CompactionStats struct {
+	// TablesIn / EntriesIn describe the merged inputs.
+	TablesIn  int
+	EntriesIn int
+	// EntriesOut counts surviving entries after redundancy removal.
+	EntriesOut int
+	// BytesReleased is PM space freed (inputs released minus outputs written).
+	BytesReleased int64
+	// BytesWritten is PM write traffic caused by the compaction.
+	BytesWritten int64
+}
+
+// CompactInternal performs an internal compaction: merge every unsorted and
+// sorted table, keep only the newest version of each key, and rebuild the
+// sorted run. Tombstones are retained when keepTombstones is true (required
+// whenever older data for this partition exists on SSD). Returns the stats;
+// if level-0 holds fewer than one table the call is a no-op.
+func (l *Level0) CompactInternal(keepTombstones bool) (CompactionStats, error) {
+	unsorted, sorted := l.snapshot()
+	if len(unsorted)+len(sorted) == 0 {
+		return CompactionStats{}, nil
+	}
+	var stats CompactionStats
+	stats.TablesIn = len(unsorted) + len(sorted)
+
+	inputs := make([]kv.Iterator, 0, stats.TablesIn)
+	for _, t := range unsorted {
+		stats.EntriesIn += t.Len()
+		inputs = append(inputs, t.NewIterator())
+	}
+	for _, t := range sorted {
+		stats.EntriesIn += t.Len()
+		inputs = append(inputs, t.NewIterator())
+	}
+	var sizeBefore int64
+	for _, t := range unsorted {
+		sizeBefore += t.SizeBytes()
+	}
+	for _, t := range sorted {
+		sizeBefore += t.SizeBytes()
+	}
+
+	merged := kv.NewDedupIterator(kv.NewMergingIterator(inputs...), !keepTombstones)
+
+	// Accumulate output tables of ~TargetTableSize raw bytes each.
+	var newSorted []*pmtable.Table
+	var batch []kv.Entry
+	var batchBytes, written int64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res, err := pmtable.Build(l.dev, batch, l.cfg.Format, l.cfg.GroupSize, device.CauseInternal)
+		if err != nil {
+			return err
+		}
+		newSorted = append(newSorted, res.Table)
+		written += res.EncodedBytes
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+	// On failure (typically pmem.ErrOutOfSpace: internal compaction
+	// transiently needs space for outputs before inputs release), roll back
+	// the partially built output so the caller can fall back to a major
+	// compaction.
+	cleanup := func(err error) (CompactionStats, error) {
+		for _, t := range newSorted {
+			t.Release()
+		}
+		return stats, err
+	}
+	for ; merged.Valid(); merged.Next() {
+		e := merged.Entry()
+		stats.EntriesOut++
+		batch = append(batch, e)
+		batchBytes += int64(e.Size())
+		if l.cfg.TargetTableSize > 0 && batchBytes >= l.cfg.TargetTableSize {
+			if err := flush(); err != nil {
+				return cleanup(err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return cleanup(err)
+	}
+
+	// Swap table sets, then release inputs.
+	l.mu.Lock()
+	// New unsorted tables may have arrived during the merge; keep only those
+	// that were not part of our snapshot.
+	keep := l.unsorted[:0]
+	inSnapshot := make(map[*pmtable.Table]bool, len(unsorted))
+	for _, t := range unsorted {
+		inSnapshot[t] = true
+	}
+	for _, t := range l.unsorted {
+		if !inSnapshot[t] {
+			keep = append(keep, t)
+		}
+	}
+	l.unsorted = keep
+	l.sorted = newSorted
+	l.mu.Unlock()
+
+	for _, t := range unsorted {
+		t.Release()
+	}
+	for _, t := range sorted {
+		t.Release()
+	}
+	var sizeAfter int64
+	for _, t := range newSorted {
+		sizeAfter += t.SizeBytes()
+	}
+	stats.BytesReleased = sizeBefore - sizeAfter
+	stats.BytesWritten = written
+	return stats, nil
+}
+
+// Evict removes every table from level-0 (after a major compaction has
+// persisted their contents to SSD) and releases their PM space. It returns
+// the bytes freed.
+func (l *Level0) Evict() int64 {
+	l.mu.Lock()
+	unsorted, sorted := l.unsorted, l.sorted
+	l.unsorted, l.sorted = nil, nil
+	l.mu.Unlock()
+	var freed int64
+	for _, t := range unsorted {
+		freed += t.SizeBytes()
+		t.Release()
+	}
+	for _, t := range sorted {
+		freed += t.SizeBytes()
+		t.Release()
+	}
+	return freed
+}
+
+// ReplaceAll atomically installs a new table set (used by recovery).
+func (l *Level0) ReplaceAll(unsorted, sorted []*pmtable.Table) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.unsorted = unsorted
+	l.sorted = sorted
+}
+
+// Tables returns the current (unsorted, sorted) sets for manifest snapshots.
+func (l *Level0) Tables() (unsorted, sorted []*pmtable.Table) {
+	return l.snapshot()
+}

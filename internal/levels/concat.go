@@ -1,0 +1,83 @@
+package levels
+
+import (
+	"bytes"
+
+	"pmblade/internal/kv"
+	"pmblade/internal/sstable"
+)
+
+// ConcatIterator iterates a sorted, non-overlapping sequence of SSTables as
+// one logical run. SeekGE binary-searches for the single covering table and
+// opens only it — one block read instead of one per table, which matters for
+// range scans (Figure 11(d)).
+type ConcatIterator struct {
+	tables []*sstable.Table
+	ti     int
+	cur    *sstable.Iterator
+}
+
+// NewConcatIterator wraps tables, which must be sorted by range and
+// non-overlapping. The caller is responsible for keeping the tables
+// referenced while iterating.
+func NewConcatIterator(tables []*sstable.Table) *ConcatIterator {
+	return &ConcatIterator{tables: tables, ti: -1}
+}
+
+// Valid implements kv.Iterator.
+func (it *ConcatIterator) Valid() bool { return it.cur != nil && it.cur.Valid() }
+
+// Entry implements kv.Iterator.
+func (it *ConcatIterator) Entry() kv.Entry { return it.cur.Entry() }
+
+// Next implements kv.Iterator.
+func (it *ConcatIterator) Next() {
+	it.cur.Next()
+	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
+		it.ti++
+		it.cur = it.tables[it.ti].NewIterator()
+		it.cur.SeekToFirst()
+	}
+}
+
+// SeekToFirst implements kv.Iterator.
+func (it *ConcatIterator) SeekToFirst() {
+	if len(it.tables) == 0 {
+		it.cur = nil
+		return
+	}
+	it.ti = 0
+	it.cur = it.tables[0].NewIterator()
+	it.cur.SeekToFirst()
+	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
+		it.ti++
+		it.cur = it.tables[it.ti].NewIterator()
+		it.cur.SeekToFirst()
+	}
+}
+
+// SeekGE implements kv.Iterator: locate the first table whose largest key is
+// >= key and seek within it.
+func (it *ConcatIterator) SeekGE(key []byte) {
+	lo, hi := 0, len(it.tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(it.tables[mid].Largest(), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(it.tables) {
+		it.cur = nil
+		return
+	}
+	it.ti = lo
+	it.cur = it.tables[lo].NewIterator()
+	it.cur.SeekGE(key)
+	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
+		it.ti++
+		it.cur = it.tables[it.ti].NewIterator()
+		it.cur.SeekToFirst()
+	}
+}

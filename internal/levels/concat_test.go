@@ -1,0 +1,111 @@
+package levels
+
+import (
+	"bytes"
+	"testing"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+)
+
+func TestConcatIteratorWalksAllTables(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	tables := []*sstable.Table{
+		buildSST(t, dev, rangeEntries(0, 100, 0)),
+		buildSST(t, dev, rangeEntries(100, 200, 0)),
+		buildSST(t, dev, rangeEntries(200, 300, 0)),
+	}
+	it := NewConcatIterator(tables)
+	it.SeekToFirst()
+	count := 0
+	var prev []byte
+	for ; it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Entry().Key) >= 0 {
+			t.Fatal("out of order")
+		}
+		prev = append(prev[:0], it.Entry().Key...)
+		count++
+	}
+	if count != 300 {
+		t.Fatalf("iterated %d entries, want 300", count)
+	}
+}
+
+func TestConcatIteratorSeekTouchesOneTable(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	tables := []*sstable.Table{
+		buildSST(t, dev, rangeEntries(0, 100, 0)),
+		buildSST(t, dev, rangeEntries(100, 200, 0)),
+		buildSST(t, dev, rangeEntries(200, 300, 0)),
+	}
+	before := dev.Stats().ReadOps(device.CauseClientRead)
+	it := NewConcatIterator(tables)
+	it.SeekGE([]byte("key-00250"))
+	if !it.Valid() || string(it.Entry().Key) != "key-00250" {
+		t.Fatalf("SeekGE landed on %q", it.Entry().Key)
+	}
+	after := dev.Stats().ReadOps(device.CauseClientRead)
+	if after-before > 2 {
+		t.Fatalf("SeekGE performed %d device reads, want <=2 (one covering table)", after-before)
+	}
+}
+
+func TestConcatIteratorSeekBoundaries(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	tables := []*sstable.Table{
+		buildSST(t, dev, rangeEntries(0, 50, 0)),
+		buildSST(t, dev, rangeEntries(100, 150, 0)), // gap 50..99
+	}
+	it := NewConcatIterator(tables)
+	// Seek into the gap: lands on the next table's first key.
+	it.SeekGE([]byte("key-00075"))
+	if !it.Valid() || string(it.Entry().Key) != "key-00100" {
+		t.Fatalf("gap seek landed on %v", it.Entry())
+	}
+	// Seek past everything.
+	it.SeekGE([]byte("key-99999"))
+	if it.Valid() {
+		t.Fatal("seek past end must exhaust")
+	}
+	// Seek before everything.
+	it.SeekGE([]byte("a"))
+	if !it.Valid() || string(it.Entry().Key) != "key-00000" {
+		t.Fatalf("seek before start landed on %v", it.Entry())
+	}
+	// Crossing a table boundary with Next.
+	it.SeekGE([]byte("key-00049"))
+	it.Next()
+	if !it.Valid() || string(it.Entry().Key) != "key-00100" {
+		t.Fatalf("boundary Next landed on %v", it.Entry())
+	}
+}
+
+func TestConcatIteratorEmpty(t *testing.T) {
+	it := NewConcatIterator(nil)
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("empty concat iterator must be invalid")
+	}
+	it.SeekGE([]byte("x"))
+	if it.Valid() {
+		t.Fatal("empty concat iterator must stay invalid after seek")
+	}
+}
+
+func TestRefCountingKeepsDeletedTableReadable(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	tbl := buildSST(t, dev, rangeEntries(0, 100, 0))
+	tbl.Ref() // reader holds a reference
+	tbl.Delete()
+	// File must still be readable while the reader holds its ref.
+	if _, ok, err := tbl.Get([]byte("key-00050"), kv.MaxSeq); err != nil || !ok {
+		t.Fatalf("ref-held table unreadable: %v %v", ok, err)
+	}
+	tbl.Unref()
+	// Now the file is gone.
+	if _, _, err := tbl.Get([]byte("key-00050"), kv.MaxSeq); err == nil {
+		t.Fatal("released table should fail reads")
+	}
+}

@@ -1,0 +1,344 @@
+// Package levels manages the SSD tier of the LSM-tree in the two shapes the
+// paper compares:
+//
+//   - Run: a single sorted run of non-overlapping SSTables — PM-Blade's
+//     level-1 (Section III adopts a three-tier structure to avoid the write
+//     amplification and read cost of deep level hierarchies).
+//   - Leveled: a conventional multi-level hierarchy (overlapping L0, leveled
+//     L1..Ln with a x10 fanout) — the RocksDB-emulation baseline.
+package levels
+
+import (
+	"bytes"
+	"sync"
+
+	"pmblade/internal/kv"
+	"pmblade/internal/sstable"
+)
+
+// Run is a sorted, non-overlapping sequence of SSTables, ascending by key
+// range. Methods are safe for concurrent use.
+type Run struct {
+	mu     sync.RWMutex
+	tables []*sstable.Table
+}
+
+// NewRun returns an empty run.
+func NewRun() *Run { return &Run{} }
+
+// Tables snapshots the run.
+func (r *Run) Tables() []*sstable.Table {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*sstable.Table(nil), r.tables...)
+}
+
+// Len reports the number of tables.
+func (r *Run) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tables)
+}
+
+// SizeBytes reports the run's SSD footprint.
+func (r *Run) SizeBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var t int64
+	for _, tb := range r.tables {
+		t += tb.SizeBytes()
+	}
+	return t
+}
+
+// Get searches the (at most one) table overlapping key. The table is
+// reference-held during the read so a concurrent compaction cannot delete
+// its file underneath (Figure 7(b) reads during compaction).
+func (r *Run) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
+	r.mu.RLock()
+	tables := r.tables
+	// Binary search for the table whose range covers key.
+	lo, hi := 0, len(tables)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(tables[mid].Largest(), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var t *sstable.Table
+	if lo < len(tables) && bytes.Compare(key, tables[lo].Smallest()) >= 0 {
+		t = tables[lo]
+		t.Ref()
+	}
+	r.mu.RUnlock()
+	if t == nil {
+		return kv.Entry{}, false, nil
+	}
+	defer t.Unref()
+	return t.Get(key, seq)
+}
+
+// RefTables snapshots the run with a reference on every table; the caller
+// must Unref each when done (long reads such as scans use this).
+func (r *Run) RefTables() []*sstable.Table {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]*sstable.Table(nil), r.tables...)
+	for _, t := range out {
+		t.Ref()
+	}
+	return out
+}
+
+// Overlapping returns the tables intersecting [lo, hi] (inclusive user-key
+// bounds); nil bounds mean unbounded.
+func (r *Run) Overlapping(lo, hi []byte) []*sstable.Table {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*sstable.Table
+	for _, t := range r.tables {
+		if lo != nil && bytes.Compare(t.Largest(), lo) < 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(t.Smallest(), hi) > 0 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Replace atomically substitutes the tables in `old` with `new_` (which must
+// be sorted and non-overlapping with the remainder). Old tables are NOT
+// deleted from the device — the caller owns their lifecycle so readers can
+// drain first.
+func (r *Run) Replace(old, new_ []*sstable.Table) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inOld := make(map[*sstable.Table]bool, len(old))
+	for _, t := range old {
+		inOld[t] = true
+	}
+	var merged []*sstable.Table
+	for _, t := range r.tables {
+		if !inOld[t] {
+			merged = append(merged, t)
+		}
+	}
+	merged = append(merged, new_...)
+	sortTables(merged)
+	r.tables = merged
+}
+
+// Iterators returns one iterator per table (they are non-overlapping, so a
+// merge over them is equivalent to concatenation; using the merging iterator
+// keeps the code uniform).
+func (r *Run) Iterators() []kv.Iterator {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]kv.Iterator, 0, len(r.tables))
+	for _, t := range r.tables {
+		out = append(out, t.NewIterator())
+	}
+	return out
+}
+
+func sortTables(ts []*sstable.Table) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && bytes.Compare(ts[j].Smallest(), ts[j-1].Smallest()) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// Leveled is a conventional leveled LSM hierarchy on SSD: level 0 holds
+// overlapping tables in flush order (newest first); levels >= 1 are sorted
+// runs with a Fanout size ratio. It backs the RocksDB-emulation baseline.
+type Leveled struct {
+	mu sync.RWMutex
+	// l0 is newest-first and may overlap.
+	l0 []*sstable.Table
+	// runs[i] is level i+1.
+	runs []*Run
+
+	// L0TriggerLen is the table count that triggers L0→L1 compaction (the
+	// paper configures RocksDB's default of 4).
+	L0TriggerLen int
+	// L1TargetBytes is the target size of level 1; level n targets
+	// L1TargetBytes * Fanout^(n-1).
+	L1TargetBytes int64
+	// Fanout is the size ratio between adjacent levels (10 in RocksDB).
+	Fanout int64
+}
+
+// NewLeveled returns an empty hierarchy with the given triggers.
+func NewLeveled(l0Trigger int, l1Target int64, fanout int64) *Leveled {
+	if l0Trigger <= 0 {
+		l0Trigger = 4
+	}
+	if fanout <= 0 {
+		fanout = 10
+	}
+	return &Leveled{L0TriggerLen: l0Trigger, L1TargetBytes: l1Target, Fanout: fanout}
+}
+
+// AddL0 installs a freshly flushed table as the newest L0 table.
+func (l *Leveled) AddL0(t *sstable.Table) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.l0 = append([]*sstable.Table{t}, l.l0...)
+}
+
+// L0Len reports the L0 table count (write-stall / compaction trigger).
+func (l *Leveled) L0Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.l0)
+}
+
+// L0Tables snapshots level 0 (newest first).
+func (l *Leveled) L0Tables() []*sstable.Table {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]*sstable.Table(nil), l.l0...)
+}
+
+// Levels reports the number of non-empty levels below L0.
+func (l *Leveled) Levels() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.runs)
+}
+
+// Run returns level n (1-based); it is created empty on first access.
+func (l *Leveled) Run(n int) *Run {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.runs) < n {
+		l.runs = append(l.runs, NewRun())
+	}
+	return l.runs[n-1]
+}
+
+// SizeBytes reports the hierarchy's total SSD footprint.
+func (l *Leveled) SizeBytes() int64 {
+	l.mu.RLock()
+	l0 := append([]*sstable.Table(nil), l.l0...)
+	runs := append([]*Run(nil), l.runs...)
+	l.mu.RUnlock()
+	var t int64
+	for _, tb := range l0 {
+		t += tb.SizeBytes()
+	}
+	for _, r := range runs {
+		t += r.SizeBytes()
+	}
+	return t
+}
+
+// RefL0 snapshots level 0 with references held; callers Unref when done.
+func (l *Leveled) RefL0() []*sstable.Table {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := append([]*sstable.Table(nil), l.l0...)
+	for _, t := range out {
+		t.Ref()
+	}
+	return out
+}
+
+// Get searches L0 newest-first, then each deeper level.
+func (l *Leveled) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
+	l0 := l.RefL0()
+	defer func() {
+		for _, t := range l0 {
+			t.Unref()
+		}
+	}()
+	l.mu.RLock()
+	runs := append([]*Run(nil), l.runs...)
+	l.mu.RUnlock()
+
+	var best kv.Entry
+	found := false
+	for _, t := range l0 {
+		if bytes.Compare(key, t.Smallest()) < 0 || bytes.Compare(key, t.Largest()) > 0 {
+			continue
+		}
+		e, ok, err := t.Get(key, seq)
+		if err != nil {
+			return kv.Entry{}, false, err
+		}
+		if ok && (!found || e.Seq > best.Seq) {
+			best, found = e, true
+		}
+	}
+	if found {
+		return best, true, nil
+	}
+	for _, r := range runs {
+		e, ok, err := r.Get(key, seq)
+		if err != nil {
+			return kv.Entry{}, false, err
+		}
+		if ok {
+			return e, true, nil
+		}
+	}
+	return kv.Entry{}, false, nil
+}
+
+// RemoveL0 removes the given tables from level 0 (after compaction).
+func (l *Leveled) RemoveL0(ts []*sstable.Table) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	drop := make(map[*sstable.Table]bool, len(ts))
+	for _, t := range ts {
+		drop[t] = true
+	}
+	keep := l.l0[:0]
+	for _, t := range l.l0 {
+		if !drop[t] {
+			keep = append(keep, t)
+		}
+	}
+	l.l0 = keep
+}
+
+// Iterators returns iterators over every table, L0 newest-first then deeper
+// levels, for full scans.
+func (l *Leveled) Iterators() []kv.Iterator {
+	l.mu.RLock()
+	l0 := append([]*sstable.Table(nil), l.l0...)
+	runs := append([]*Run(nil), l.runs...)
+	l.mu.RUnlock()
+	var out []kv.Iterator
+	for _, t := range l0 {
+		out = append(out, t.NewIterator())
+	}
+	for _, r := range runs {
+		out = append(out, r.Iterators()...)
+	}
+	return out
+}
+
+// PickCompaction chooses the next leveled compaction: L0 if it crossed its
+// trigger, otherwise the shallowest level over its size target. It returns
+// the source level (0 for L0) and ok=false when nothing needs compaction.
+func (l *Leveled) PickCompaction() (level int, ok bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.l0) >= l.L0TriggerLen {
+		return 0, true
+	}
+	target := l.L1TargetBytes
+	for i, r := range l.runs {
+		if target > 0 && r.SizeBytes() > target {
+			return i + 1, true
+		}
+		target *= l.Fanout
+	}
+	return 0, false
+}

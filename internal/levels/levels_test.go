@@ -1,0 +1,190 @@
+package levels
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+)
+
+func buildSST(t *testing.T, dev *ssd.Device, entries []kv.Entry) *sstable.Table {
+	t.Helper()
+	sort.Slice(entries, func(i, j int) bool { return kv.Compare(entries[i], entries[j]) < 0 })
+	b := sstable.NewBuilder(dev, device.CauseMajor)
+	for _, e := range entries {
+		if err := b.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func rangeEntries(lo, hi int, seqBase uint64) []kv.Entry {
+	var out []kv.Entry
+	for i := lo; i < hi; i++ {
+		out = append(out, kv.Entry{
+			Key:   []byte(fmt.Sprintf("key-%05d", i)),
+			Value: []byte(fmt.Sprintf("v%d", i)),
+			Seq:   seqBase + uint64(i),
+		})
+	}
+	return out
+}
+
+func TestRunGetRoutesToRightTable(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	r := NewRun()
+	r.Replace(nil, []*sstable.Table{
+		buildSST(t, dev, rangeEntries(0, 100, 0)),
+		buildSST(t, dev, rangeEntries(100, 200, 0)),
+		buildSST(t, dev, rangeEntries(200, 300, 0)),
+	})
+	for _, i := range []int{0, 99, 100, 250, 299} {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		e, ok, err := r.Get(k, kv.MaxSeq)
+		if err != nil || !ok || string(e.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %v %v %v", k, e, ok, err)
+		}
+	}
+	if _, ok, _ := r.Get([]byte("key-00300"), kv.MaxSeq); ok {
+		t.Fatal("absent key found")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRunOverlapping(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	t1 := buildSST(t, dev, rangeEntries(0, 100, 0))
+	t2 := buildSST(t, dev, rangeEntries(100, 200, 0))
+	t3 := buildSST(t, dev, rangeEntries(200, 300, 0))
+	r := NewRun()
+	r.Replace(nil, []*sstable.Table{t1, t2, t3})
+
+	ov := r.Overlapping([]byte("key-00150"), []byte("key-00250"))
+	if len(ov) != 2 || ov[0] != t2 || ov[1] != t3 {
+		t.Fatalf("overlap = %d tables", len(ov))
+	}
+	if got := r.Overlapping(nil, nil); len(got) != 3 {
+		t.Fatalf("unbounded overlap = %d", len(got))
+	}
+	if got := r.Overlapping([]byte("zzz"), nil); len(got) != 0 {
+		t.Fatalf("no-overlap = %d", len(got))
+	}
+}
+
+func TestRunReplaceSwapsAtomically(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	t1 := buildSST(t, dev, rangeEntries(0, 100, 0))
+	t2 := buildSST(t, dev, rangeEntries(100, 200, 0))
+	r := NewRun()
+	r.Replace(nil, []*sstable.Table{t1, t2})
+
+	// Replace t1 with two newer halves.
+	n1 := buildSST(t, dev, rangeEntries(0, 50, 1000))
+	n2 := buildSST(t, dev, rangeEntries(50, 100, 1000))
+	r.Replace([]*sstable.Table{t1}, []*sstable.Table{n1, n2})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d want 3", r.Len())
+	}
+	e, ok, _ := r.Get([]byte("key-00010"), kv.MaxSeq)
+	if !ok || e.Seq < 1000 {
+		t.Fatalf("should read from the new table: %v %v", e, ok)
+	}
+	// Order maintained.
+	ts := r.Tables()
+	for i := 1; i < len(ts); i++ {
+		if bytes.Compare(ts[i-1].Largest(), ts[i].Smallest()) >= 0 {
+			t.Fatal("run out of order after replace")
+		}
+	}
+}
+
+func TestLeveledL0NewestFirst(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	l := NewLeveled(4, 1<<20, 10)
+	l.AddL0(buildSST(t, dev, []kv.Entry{{Key: []byte("k"), Value: []byte("old"), Seq: 1}}))
+	l.AddL0(buildSST(t, dev, []kv.Entry{{Key: []byte("k"), Value: []byte("new"), Seq: 2}}))
+	e, ok, err := l.Get([]byte("k"), kv.MaxSeq)
+	if err != nil || !ok || string(e.Value) != "new" {
+		t.Fatalf("Get = %v %v %v", e, ok, err)
+	}
+	if l.L0Len() != 2 {
+		t.Fatalf("L0Len = %d", l.L0Len())
+	}
+}
+
+func TestLeveledGetFallsThroughLevels(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	l := NewLeveled(4, 1<<20, 10)
+	l.Run(1).Replace(nil, []*sstable.Table{buildSST(t, dev, rangeEntries(0, 50, 100))})
+	l.Run(2).Replace(nil, []*sstable.Table{buildSST(t, dev, rangeEntries(50, 100, 0))})
+	e, ok, _ := l.Get([]byte("key-00010"), kv.MaxSeq)
+	if !ok || e.Seq < 100 {
+		t.Fatalf("L1 key: %v %v", e, ok)
+	}
+	e, ok, _ = l.Get([]byte("key-00060"), kv.MaxSeq)
+	if !ok || e.Seq >= 100 {
+		t.Fatalf("L2 key: %v %v", e, ok)
+	}
+}
+
+func TestLeveledPickCompaction(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	l := NewLeveled(2, 100, 10)
+	if _, ok := l.PickCompaction(); ok {
+		t.Fatal("empty tree needs no compaction")
+	}
+	l.AddL0(buildSST(t, dev, rangeEntries(0, 10, 0)))
+	l.AddL0(buildSST(t, dev, rangeEntries(0, 10, 100)))
+	lvl, ok := l.PickCompaction()
+	if !ok || lvl != 0 {
+		t.Fatalf("want L0 compaction, got %d %v", lvl, ok)
+	}
+	l.RemoveL0(l.L0Tables())
+	// Oversized L1 must be picked next.
+	l.Run(1).Replace(nil, []*sstable.Table{buildSST(t, dev, rangeEntries(0, 100, 0))})
+	lvl, ok = l.PickCompaction()
+	if !ok || lvl != 1 {
+		t.Fatalf("want L1 compaction, got %d %v", lvl, ok)
+	}
+}
+
+func TestLeveledRemoveL0(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	l := NewLeveled(4, 1<<20, 10)
+	t1 := buildSST(t, dev, rangeEntries(0, 10, 0))
+	t2 := buildSST(t, dev, rangeEntries(0, 10, 100))
+	l.AddL0(t1)
+	l.AddL0(t2)
+	l.RemoveL0([]*sstable.Table{t1})
+	if l.L0Len() != 1 {
+		t.Fatalf("L0Len = %d", l.L0Len())
+	}
+	if l.L0Tables()[0] != t2 {
+		t.Fatal("wrong table removed")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	l := NewLeveled(4, 1<<20, 10)
+	if l.SizeBytes() != 0 {
+		t.Fatal("empty size")
+	}
+	l.AddL0(buildSST(t, dev, rangeEntries(0, 100, 0)))
+	l.Run(1).Replace(nil, []*sstable.Table{buildSST(t, dev, rangeEntries(100, 200, 0))})
+	if l.SizeBytes() <= 0 {
+		t.Fatal("size should be positive")
+	}
+}

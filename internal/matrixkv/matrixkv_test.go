@@ -1,0 +1,199 @@
+package matrixkv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmblade/internal/pmem"
+	"pmblade/internal/ssd"
+)
+
+func fastCfg() Config {
+	return Config{
+		PMCapacity:    8 << 20,
+		PMProfile:     pmem.FastProfile,
+		SSDProfile:    ssd.FastProfile,
+		MemtableBytes: 64 << 10,
+		ColumnBytes:   128 << 10,
+		SSTableBytes:  256 << 10,
+		DisableWAL:    true,
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	db := Open(fastCfg())
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i += 73 {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get(%s) = %q %v %v", k, v, ok, err)
+		}
+	}
+	if _, ok, _ := db.Get([]byte("missing")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestUpdatesAndDeletes(t *testing.T) {
+	db := Open(fastCfg())
+	db.Put([]byte("k"), []byte("v1"))
+	db.Put([]byte("k"), []byte("v2"))
+	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	db.Delete([]byte("k"))
+	if _, ok, _ := db.Get([]byte("k")); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestFlushCreatesRows(t *testing.T) {
+	db := Open(fastCfg())
+	val := bytes.Repeat([]byte("v"), 200)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if db.RowCount() == 0 {
+		t.Fatal("no matrix rows created")
+	}
+	if db.FlushCount == 0 {
+		t.Fatal("flush count zero")
+	}
+}
+
+func TestColumnCompactionDrainsToSSD(t *testing.T) {
+	db := Open(fastCfg())
+	val := bytes.Repeat([]byte("v"), 200)
+	for i := 0; i < 3000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	db.FlushAll()
+	if err := db.DrainColumns(); err != nil {
+		t.Fatal(err)
+	}
+	if db.RowCount() != 0 {
+		t.Fatalf("rows remain after drain: %d", db.RowCount())
+	}
+	if db.run.Len() == 0 {
+		t.Fatal("no SSD tables after column compaction")
+	}
+	// Data correct after full drain.
+	for i := 0; i < 3000; i += 211 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, ok, err := db.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("Get(%s) after drain = %v %v %v", k, len(v), ok, err)
+		}
+	}
+	if db.ColumnCount == 0 {
+		t.Fatal("column compactions not counted")
+	}
+}
+
+func TestVersionsSurviveColumnBoundary(t *testing.T) {
+	// Multiple versions of one key must not be split across a column
+	// boundary in a way that loses the newest.
+	cfg := fastCfg()
+	cfg.ColumnBytes = 4 << 10 // tiny columns
+	db := Open(cfg)
+	val := bytes.Repeat([]byte("x"), 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", rng.Intn(200))), append(val, byte(i)))
+	}
+	db.FlushAll()
+	if err := db.DrainColumns(); err != nil {
+		t.Fatal(err)
+	}
+	// All 200 keys readable, no errors.
+	missing := 0
+	for i := 0; i < 200; i++ {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("key-%04d", i))); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d keys lost across column compaction", missing)
+	}
+}
+
+func TestScanMergesAllSources(t *testing.T) {
+	db := Open(fastCfg())
+	for i := 0; i < 1500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprint(i)))
+	}
+	db.FlushAll()
+	db.DrainColumns()
+	// Fresh overwrites in memtable + rows.
+	for i := 500; i < 600; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("new"))
+	}
+	res, err := db.Scan([]byte("key-00400"), []byte("key-00700"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 300 {
+		t.Fatalf("scan = %d want 300", len(res))
+	}
+	for _, r := range res {
+		k := string(r[0])
+		if k >= "key-00500" && k < "key-00600" && string(r[1]) != "new" {
+			t.Fatalf("stale value for %s", k)
+		}
+	}
+	for i := 1; i < len(res); i++ {
+		if bytes.Compare(res[i-1][0], res[i][0]) >= 0 {
+			t.Fatal("scan out of order")
+		}
+	}
+}
+
+func TestPMPressureForcesColumnCompaction(t *testing.T) {
+	cfg := fastCfg()
+	cfg.PMCapacity = 1 << 20
+	db := Open(cfg)
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := 0; i < 4000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if db.ColumnCount == 0 {
+		t.Fatal("PM pressure should have forced column compactions")
+	}
+	// Everything still readable.
+	for i := 0; i < 4000; i += 397 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if _, ok, err := db.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%s) = %v %v", k, ok, err)
+		}
+	}
+}
+
+func TestWriteAmpCounters(t *testing.T) {
+	db := Open(fastCfg())
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i%300)), val)
+	}
+	db.FlushAll()
+	db.DrainColumns()
+	if db.UserBytes() == 0 {
+		t.Fatal("user bytes not counted")
+	}
+	if db.PMDevice().Stats().TotalWriteBytes() == 0 {
+		t.Fatal("PM writes not counted")
+	}
+	if db.SSDDevice().Stats().TotalWriteBytes() == 0 {
+		t.Fatal("SSD writes not counted")
+	}
+}

@@ -1,0 +1,183 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pmblade/internal/kv"
+)
+
+func TestAddGetBasic(t *testing.T) {
+	m := New()
+	m.Add(kv.Entry{Key: []byte("k1"), Value: []byte("v1"), Seq: 1})
+	m.Add(kv.Entry{Key: []byte("k2"), Value: []byte("v2"), Seq: 2})
+	m.Add(kv.Entry{Key: []byte("k1"), Value: []byte("v1b"), Seq: 3})
+
+	e, ok := m.Get([]byte("k1"), kv.MaxSeq)
+	if !ok || string(e.Value) != "v1b" {
+		t.Fatalf("Get(k1) = %v,%v want v1b", e, ok)
+	}
+	e, ok = m.Get([]byte("k1"), 2)
+	if !ok || string(e.Value) != "v1" {
+		t.Fatalf("Get(k1@2) = %v,%v want v1", e, ok)
+	}
+	if _, ok := m.Get([]byte("k3"), kv.MaxSeq); ok {
+		t.Fatal("Get(k3) should miss")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d want 3", m.Len())
+	}
+}
+
+func TestGetTombstoneIsVisible(t *testing.T) {
+	m := New()
+	m.Add(kv.Entry{Key: []byte("k"), Value: []byte("v"), Seq: 1})
+	m.Add(kv.Entry{Key: []byte("k"), Seq: 2, Kind: kv.KindDelete})
+	e, ok := m.Get([]byte("k"), kv.MaxSeq)
+	if !ok || e.Kind != kv.KindDelete {
+		t.Fatalf("Get should surface the tombstone, got %v,%v", e, ok)
+	}
+}
+
+func TestPrefixKeysDoNotCollide(t *testing.T) {
+	// "k" is a prefix of "k1": raw byte-concatenated internal keys would
+	// interleave wrongly without a boundary-aware comparison.
+	m := New()
+	m.Add(kv.Entry{Key: []byte("k"), Value: []byte("short"), Seq: 5})
+	m.Add(kv.Entry{Key: []byte("k1"), Value: []byte("long"), Seq: 1})
+	e, ok := m.Get([]byte("k"), kv.MaxSeq)
+	if !ok || string(e.Value) != "short" {
+		t.Fatalf("Get(k) = %v,%v", e, ok)
+	}
+	e, ok = m.Get([]byte("k1"), kv.MaxSeq)
+	if !ok || string(e.Value) != "long" {
+		t.Fatalf("Get(k1) = %v,%v", e, ok)
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	m := New()
+	rng := rand.New(rand.NewSource(7))
+	var all []kv.Entry
+	for i := 0; i < 500; i++ {
+		e := kv.Entry{
+			Key:   []byte(fmt.Sprintf("key-%03d", rng.Intn(200))),
+			Value: []byte(fmt.Sprint(i)),
+			Seq:   uint64(i + 1),
+		}
+		m.Add(e)
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool { return kv.Compare(all[i], all[j]) < 0 })
+	it := m.NewIterator()
+	it.SeekToFirst()
+	for i := range all {
+		if !it.Valid() {
+			t.Fatalf("exhausted at %d", i)
+		}
+		got := it.Entry()
+		if !bytes.Equal(got.Key, all[i].Key) || got.Seq != all[i].Seq {
+			t.Fatalf("pos %d: got %v want %v", i, got, all[i])
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("iterator should be exhausted")
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	m := New()
+	m.Add(kv.Entry{Key: []byte("b"), Seq: 1})
+	m.Add(kv.Entry{Key: []byte("d"), Seq: 2})
+	it := m.NewIterator()
+	it.SeekGE([]byte("c"))
+	if !it.Valid() || string(it.Entry().Key) != "d" {
+		t.Fatalf("SeekGE(c) should land on d")
+	}
+	it.SeekGE([]byte("e"))
+	if it.Valid() {
+		t.Fatal("SeekGE(e) should exhaust")
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	m := New()
+	const n = 2000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			m.Add(kv.Entry{
+				Key:   []byte(fmt.Sprintf("key-%05d", i)),
+				Value: []byte("v"),
+				Seq:   uint64(i + 1),
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("key-%05d", rng.Intn(n)))
+				if e, ok := m.Get(k, kv.MaxSeq); ok && string(e.Value) != "v" {
+					t.Errorf("corrupt read %v", e)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		model := map[string]kv.Entry{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%02d", rng.Intn(30))
+			kind := kv.KindSet
+			if rng.Intn(4) == 0 {
+				kind = kv.KindDelete
+			}
+			e := kv.Entry{Key: []byte(k), Value: []byte(fmt.Sprint(i)), Seq: uint64(i + 1), Kind: kind}
+			m.Add(e)
+			model[k] = e
+		}
+		for k, want := range model {
+			got, ok := m.Get([]byte(k), kv.MaxSeq)
+			if !ok || got.Seq != want.Seq || got.Kind != want.Kind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproximateSizeGrows(t *testing.T) {
+	m := New()
+	if m.ApproximateSize() != 0 {
+		t.Fatal("fresh memtable should have size 0")
+	}
+	m.Add(kv.Entry{Key: []byte("key"), Value: make([]byte, 1000), Seq: 1})
+	if m.ApproximateSize() < 1000 {
+		t.Fatalf("size %d should account for the value", m.ApproximateSize())
+	}
+}

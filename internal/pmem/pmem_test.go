@@ -1,0 +1,128 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"pmblade/internal/device"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, err := d.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello persistent world")
+	if err := d.WriteAt(addr, 0, data, device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(addr, 0, got, device.CauseClientRead); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestAllocOutOfSpace(t *testing.T) {
+	d := New(1000, FastProfile)
+	if _, err := d.Alloc(800); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(300); err != ErrOutOfSpace {
+		t.Fatalf("expected ErrOutOfSpace, got %v", err)
+	}
+}
+
+func TestReleaseFreesAccounting(t *testing.T) {
+	d := New(1000, FastProfile)
+	a, _ := d.Alloc(600)
+	if _, err := d.Alloc(600); err != ErrOutOfSpace {
+		t.Fatal("should be full")
+	}
+	d.Release(a)
+	if d.Used() != 0 {
+		t.Fatalf("Used = %d after release", d.Used())
+	}
+	if _, err := d.Alloc(600); err != nil {
+		t.Fatalf("alloc after release: %v", err)
+	}
+}
+
+func TestViewZeroCopy(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, _ := d.Alloc(64)
+	if err := d.WriteAt(addr, 0, []byte("abcdef"), device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.View(addr, 2, 3, device.CauseClientRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "cde" {
+		t.Fatalf("view = %q", v)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, _ := d.Alloc(10)
+	if err := d.WriteAt(addr, 8, []byte("too long"), device.CauseFlush); err == nil {
+		// Note: region overrun beyond the arena is the hard boundary; writes
+		// within the arena but past a region succeed (like real PM). Only
+		// out-of-arena access must fail.
+		t.Log("write beyond region allowed (arena not exceeded)")
+	}
+	big := New(100, FastProfile)
+	a2, _ := big.Alloc(50)
+	if err := big.ReadAt(a2, 60, make([]byte, 10), device.CauseClientRead); err == nil {
+		t.Fatal("read past arena must fail")
+	}
+	if err := big.WriteAt(a2, -1, []byte{1}, device.CauseFlush); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+}
+
+func TestFlushPersistence(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, _ := d.Alloc(10)
+	if d.Persisted(addr) {
+		t.Fatal("unflushed region must not be persisted")
+	}
+	d.Flush()
+	if !d.Persisted(addr) {
+		t.Fatal("flushed region must be persisted")
+	}
+	if d.Persisted(Addr(9999)) {
+		t.Fatal("unknown region must not be persisted")
+	}
+}
+
+func TestStatsAttribution(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, _ := d.Alloc(1000)
+	_ = d.WriteAt(addr, 0, make([]byte, 500), device.CauseInternal)
+	_ = d.ReadAt(addr, 0, make([]byte, 200), device.CauseClientRead)
+	if d.Stats().WriteBytes(device.CauseInternal) != 500 {
+		t.Fatalf("internal write bytes = %d", d.Stats().WriteBytes(device.CauseInternal))
+	}
+	if d.Stats().ReadBytes(device.CauseClientRead) != 200 {
+		t.Fatalf("client read bytes = %d", d.Stats().ReadBytes(device.CauseClientRead))
+	}
+	if d.Stats().TotalWriteBytes() != 500 {
+		t.Fatalf("total writes = %d", d.Stats().TotalWriteBytes())
+	}
+}
+
+func TestSizeOfRegion(t *testing.T) {
+	d := New(1<<20, FastProfile)
+	addr, _ := d.Alloc(77)
+	if d.Size(addr) != 77 {
+		t.Fatalf("Size = %d", d.Size(addr))
+	}
+	if d.Size(Addr(12345)) != -1 {
+		t.Fatal("unknown region should report -1")
+	}
+}

@@ -1,0 +1,356 @@
+package pmtable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"pmblade/internal/compress"
+	"pmblade/internal/kv"
+)
+
+// Array-family body layouts.
+//
+// FormatArray (the structure MatrixKV uses):
+//
+//	count u32 | offsets: count * u32 | data: per entry:
+//	  klen uvarint | vlen uvarint | trailer u64 LE | key | value
+//
+// FormatArraySnappy: identical, except each entry's record is individually
+// compressed: offsets point at "clen uvarint | compressed(record)".
+//
+// FormatArraySnappyGroup: entries are packed in groups of groupSize; the
+// offsets array has one slot per group pointing at the group's compressed
+// block, which decompresses to the concatenated records.
+
+type arrayMeta struct {
+	body      []byte
+	format    Format
+	groupSize int
+	count     int // entries (Array/Snappy) or groups (SnappyGroup)
+	offOff    int // offset of the offsets array
+	dataOff   int // offset of the data area
+}
+
+func encodeRecord(dst []byte, e kv.Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
+	dst = binary.LittleEndian.AppendUint64(dst, kv.Trailer(e.Seq, e.Kind))
+	dst = append(dst, e.Key...)
+	return append(dst, e.Value...)
+}
+
+func decodeRecord(p []byte) (e kv.Entry, n int, err error) {
+	klen, a := binary.Uvarint(p)
+	if a <= 0 {
+		return kv.Entry{}, 0, ErrCorrupt
+	}
+	vlen, b := binary.Uvarint(p[a:])
+	if b <= 0 {
+		return kv.Entry{}, 0, ErrCorrupt
+	}
+	off := a + b
+	if off+8+int(klen)+int(vlen) > len(p) {
+		return kv.Entry{}, 0, ErrCorrupt
+	}
+	trailer := binary.LittleEndian.Uint64(p[off:])
+	off += 8
+	e.Key = p[off : off+int(klen)]
+	off += int(klen)
+	e.Value = p[off : off+int(vlen)]
+	off += int(vlen)
+	e.Seq, e.Kind = kv.SplitTrailer(trailer)
+	return e, off, nil
+}
+
+func assembleArray(offsets []uint32, data []byte) []byte {
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(offsets)))
+	for _, o := range offsets {
+		body = binary.LittleEndian.AppendUint32(body, o)
+	}
+	return append(body, data...)
+}
+
+func buildArrayBody(entries []kv.Entry) ([]byte, error) {
+	offsets := make([]uint32, 0, len(entries))
+	var data []byte
+	for _, e := range entries {
+		offsets = append(offsets, uint32(len(data)))
+		data = encodeRecord(data, e)
+	}
+	return assembleArray(offsets, data), nil
+}
+
+func buildSnappyBody(entries []kv.Entry) ([]byte, error) {
+	offsets := make([]uint32, 0, len(entries))
+	var data, rec []byte
+	for _, e := range entries {
+		offsets = append(offsets, uint32(len(data)))
+		rec = encodeRecord(rec[:0], e)
+		comp := compress.Compress(nil, rec)
+		data = binary.AppendUvarint(data, uint64(len(comp)))
+		data = append(data, comp...)
+	}
+	return assembleArray(offsets, data), nil
+}
+
+func buildSnappyGroupBody(entries []kv.Entry, groupSize int) ([]byte, error) {
+	var offsets []uint32
+	var data, block []byte
+	for i := 0; i < len(entries); i += groupSize {
+		end := i + groupSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		block = block[:0]
+		block = binary.AppendUvarint(block, uint64(end-i))
+		for _, e := range entries[i:end] {
+			block = encodeRecord(block, e)
+		}
+		comp := compress.Compress(nil, block)
+		offsets = append(offsets, uint32(len(data)))
+		data = binary.AppendUvarint(data, uint64(len(comp)))
+		data = append(data, comp...)
+	}
+	return assembleArray(offsets, data), nil
+}
+
+func openArrayMeta(body []byte, format Format, groupSize int) (*arrayMeta, error) {
+	if len(body) < 4 {
+		return nil, ErrCorrupt
+	}
+	m := &arrayMeta{body: body, format: format, groupSize: groupSize}
+	m.count = int(binary.LittleEndian.Uint32(body))
+	m.offOff = 4
+	m.dataOff = 4 + m.count*4
+	if m.dataOff > len(body) {
+		return nil, fmt.Errorf("%w: offsets array", ErrCorrupt)
+	}
+	return m, nil
+}
+
+func (m *arrayMeta) offset(i int) int {
+	return int(binary.LittleEndian.Uint32(m.body[m.offOff+i*4:]))
+}
+
+// slotRecord decodes slot i. For Array it is one record; for Snappy it
+// decompresses one record; for SnappyGroup it decompresses the whole group
+// and returns its records. scratch is reused for decompression.
+func (m *arrayMeta) slotEntries(i int, scratch []byte) ([]kv.Entry, []byte, error) {
+	data := m.body[m.dataOff+m.offset(i):]
+	switch m.format {
+	case FormatArray:
+		e, _, err := decodeRecord(data)
+		if err != nil {
+			return nil, scratch, err
+		}
+		return []kv.Entry{e}, scratch, nil
+	case FormatArraySnappy:
+		clen, n := binary.Uvarint(data)
+		if n <= 0 || n+int(clen) > len(data) {
+			return nil, scratch, ErrCorrupt
+		}
+		dec, err := compress.Decompress(scratch[:0], data[n:n+int(clen)])
+		if err != nil {
+			return nil, scratch, err
+		}
+		e, _, err := decodeRecord(dec)
+		if err != nil {
+			return nil, dec, err
+		}
+		return []kv.Entry{e}, dec, nil
+	case FormatArraySnappyGroup:
+		clen, n := binary.Uvarint(data)
+		if n <= 0 || n+int(clen) > len(data) {
+			return nil, scratch, ErrCorrupt
+		}
+		dec, err := compress.Decompress(scratch[:0], data[n:n+int(clen)])
+		if err != nil {
+			return nil, scratch, err
+		}
+		cnt, n := binary.Uvarint(dec)
+		if n <= 0 {
+			return nil, dec, ErrCorrupt
+		}
+		rest := dec[n:]
+		out := make([]kv.Entry, 0, cnt)
+		for j := 0; j < int(cnt); j++ {
+			e, adv, err := decodeRecord(rest)
+			if err != nil {
+				return nil, dec, err
+			}
+			out = append(out, e)
+			rest = rest[adv:]
+		}
+		return out, dec, nil
+	default:
+		return nil, scratch, fmt.Errorf("pmtable: bad array format %v", m.format)
+	}
+}
+
+// slotFirstKey returns the key of slot i's first entry (for binary search).
+func (m *arrayMeta) slotFirstKey(i int, scratch []byte) ([]byte, []byte, error) {
+	es, scratch, err := m.slotEntries(i, scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	return es[0].Key, scratch, nil
+}
+
+// arrayGet binary-searches the offsets array. Every probe costs two PM
+// accesses for the plain array (offset + record) — the cost the paper's
+// three-layer structure halves — plus decompression for the snappy variants.
+func (t *Table) arrayGet(key []byte, seq uint64) (kv.Entry, bool) {
+	if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+		return kv.Entry{}, false
+	}
+	m := t.array
+	var scratch []byte
+	// Find the first slot whose first key is >= key, then scan from the slot
+	// before it: versions sort newest-first, so the newest version of key is
+	// the earliest slot holding it, and a group starting before key may
+	// contain it.
+	lo, hi := 0, m.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.dev.ChargeAccess() // offset probe
+		t.dev.ChargeAccess() // record probe
+		fk, s, err := m.slotFirstKey(mid, scratch)
+		scratch = s
+		if err != nil {
+			return kv.Entry{}, false
+		}
+		if bytes.Compare(fk, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo - 1
+	if start < 0 {
+		start = 0
+	}
+	var best kv.Entry
+	found := false
+	for i := start; i < m.count; i++ {
+		t.dev.ChargeAccess()
+		es, s, err := m.slotEntries(i, scratch)
+		scratch = s
+		if err != nil {
+			return kv.Entry{}, false
+		}
+		for _, e := range es {
+			c := bytes.Compare(e.Key, key)
+			if c > 0 {
+				return best, found
+			}
+			if c == 0 && e.Seq <= seq && (!found || e.Seq > best.Seq) {
+				best = kv.Entry{
+					Key:   append([]byte(nil), e.Key...),
+					Value: append([]byte(nil), e.Value...),
+					Seq:   e.Seq,
+					Kind:  e.Kind,
+				}
+				found = true
+			}
+		}
+		if found {
+			return best, true
+		}
+	}
+	return best, found
+}
+
+// arrayIterator walks slots in order.
+type arrayIterator struct {
+	t       *Table
+	slot    int
+	pending []kv.Entry
+	pi      int
+	scratch []byte
+	cur     kv.Entry
+	ok      bool
+}
+
+func (t *Table) newArrayIterator() kv.Iterator {
+	return &arrayIterator{t: t, slot: -1}
+}
+
+func (it *arrayIterator) SeekToFirst() {
+	it.slot = -1
+	it.pending = nil
+	it.pi = 0
+	it.advance()
+}
+
+func (it *arrayIterator) advance() {
+	for {
+		if it.pi < len(it.pending) {
+			it.cur = it.pending[it.pi]
+			it.pi++
+			it.ok = true
+			return
+		}
+		it.slot++
+		if it.slot >= it.t.array.count {
+			it.ok = false
+			return
+		}
+		it.t.dev.ChargeAccess()
+		es, s, err := it.t.array.slotEntries(it.slot, it.scratch)
+		it.scratch = s
+		if err != nil {
+			it.ok = false
+			return
+		}
+		// Copy keys/values out of the scratch buffer: the next slot reuses it.
+		it.pending = it.pending[:0]
+		for _, e := range es {
+			it.pending = append(it.pending, kv.Entry{
+				Key:   append([]byte(nil), e.Key...),
+				Value: append([]byte(nil), e.Value...),
+				Seq:   e.Seq,
+				Kind:  e.Kind,
+			})
+		}
+		it.pi = 0
+	}
+}
+
+func (it *arrayIterator) Valid() bool     { return it.ok }
+func (it *arrayIterator) Next()           { it.advance() }
+func (it *arrayIterator) Entry() kv.Entry { return it.cur }
+
+func (it *arrayIterator) SeekGE(key []byte) {
+	// Binary search over slot first keys, then a short in-slot scan.
+	m := it.t.array
+	var scratch []byte
+	lo, hi := 0, m.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		it.t.dev.ChargeAccess()
+		fk, s, err := m.slotFirstKey(mid, scratch)
+		scratch = s
+		if err != nil {
+			it.ok = false
+			return
+		}
+		if bytes.Compare(fk, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo - 1
+	if start < 0 {
+		start = 0
+	}
+	it.slot = start - 1
+	it.pending = it.pending[:0]
+	it.pi = 0
+	it.advance()
+	for it.ok && bytes.Compare(it.cur.Key, key) < 0 {
+		it.advance()
+	}
+}

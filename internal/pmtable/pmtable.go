@@ -1,0 +1,321 @@
+// Package pmtable implements the PM table — the on-persistent-memory data
+// structure that makes up level-0 in PM-Blade — in the four formats the paper
+// compares (Section IV-A, Figure 6):
+//
+//   - FormatPrefix: PM-Blade's three-layer structure. A meta layer holds a
+//     dictionary of extracted long key prefixes (e.g. the {tableID} encoding
+//     shared by every key of one database table); a prefix layer holds a
+//     fixed-length prefix of each group's first key plus the group's offset,
+//     enabling binary search with one PM access per probe; an entry layer
+//     holds groups of 8/16 prefix-stripped entries scanned sequentially.
+//   - FormatArray: the plain structure from MatrixKV — a metadata array of
+//     offsets plus a data array of full entries; binary search costs two PM
+//     accesses per probe (offset, then key).
+//   - FormatArraySnappy: the array structure with every entry compressed
+//     individually by the LZ block compressor (snappy stand-in).
+//   - FormatArraySnappyGroup: the array structure with groups of eight
+//     entries compressed together.
+//
+// Tables are immutable once built. They live in a pmem.Device arena and can
+// be reopened from their address after a restart.
+package pmtable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/pmem"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Format selects the physical layout of a PM table.
+type Format uint8
+
+// The four formats evaluated in the paper.
+const (
+	FormatPrefix Format = iota
+	FormatArray
+	FormatArraySnappy
+	FormatArraySnappyGroup
+)
+
+// String names the format the way the paper's figures do.
+func (f Format) String() string {
+	switch f {
+	case FormatPrefix:
+		return "PM table"
+	case FormatArray:
+		return "Array-based"
+	case FormatArraySnappy:
+		return "Array-snappy"
+	case FormatArraySnappyGroup:
+		return "Array-snappy-group"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+const (
+	magic      = 0x504d5442 // "PMTB"
+	headerSize = 4 + 1 + 1 + 4 + 4 + 8 + 8
+	// DefaultGroupSize is the number of entries per group in the prefix and
+	// group-compressed formats (the paper uses eight or sixteen).
+	DefaultGroupSize = 8
+	// prefixLen is the fixed length P of prefix-layer keys; fixed size makes
+	// the binary search stride constant (Section IV-A).
+	prefixLen = 24
+	// metaPrefixLen is the dictionary granularity of the meta layer: the
+	// leading bytes extracted as "superfluous coding information" such as
+	// {tableID}. keyenc record/index keys share their first 10 bytes.
+	metaPrefixLen = 10
+)
+
+// ErrCorrupt reports a malformed table image.
+var ErrCorrupt = errors.New("pmtable: corrupt table")
+
+// Table is an immutable PM-resident sorted (or flush-ordered) table.
+type Table struct {
+	dev    *pmem.Device
+	addr   pmem.Addr
+	format Format
+	count  int
+	size   int64
+
+	smallest []byte
+	largest  []byte
+
+	// Format-specific decoded metadata (kept in DRAM, as the paper keeps
+	// search metadata cheap; the data itself stays in PM).
+	prefix *prefixMeta
+	array  *arrayMeta
+}
+
+// Addr reports the table's arena address (persisted in the manifest).
+func (t *Table) Addr() pmem.Addr { return t.addr }
+
+// Format reports the table's physical layout.
+func (t *Table) Format() Format { return t.format }
+
+// Len reports the number of entries (versions).
+func (t *Table) Len() int { return t.count }
+
+// SizeBytes reports the table's footprint in PM.
+func (t *Table) SizeBytes() int64 { return t.size }
+
+// Smallest returns the smallest user key in the table.
+func (t *Table) Smallest() []byte { return t.smallest }
+
+// Largest returns the largest user key in the table.
+func (t *Table) Largest() []byte { return t.largest }
+
+// Release returns the table's space to the arena free accounting.
+func (t *Table) Release() { t.dev.Release(t.addr) }
+
+// header layout:
+//
+//	magic u32 | format u8 | reserved u8 | count u32 | groupSize u32 |
+//	smallestLen u32 + largestLen u32 (in trailer section, variable)
+//
+// The encoded image is: header | body | smallest | largest, with the
+// smallest/largest lengths in the header so Open can find them.
+type header struct {
+	format    Format
+	count     uint32
+	groupSize uint32
+	smallLen  uint32
+	largeLen  uint32
+}
+
+func encodeHeader(dst []byte, h header) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, magic)
+	dst = append(dst, byte(h.format), 0)
+	dst = binary.LittleEndian.AppendUint32(dst, h.count)
+	dst = binary.LittleEndian.AppendUint32(dst, h.groupSize)
+	dst = binary.LittleEndian.AppendUint32(dst, h.smallLen)
+	dst = binary.LittleEndian.AppendUint32(dst, h.largeLen)
+	_ = headerSize
+	return dst
+}
+
+const encodedHeaderSize = 4 + 2 + 4 + 4 + 4 + 4
+
+func decodeHeader(p []byte) (header, error) {
+	if len(p) < encodedHeaderSize {
+		return header{}, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(p[0:4]) != magic {
+		return header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return header{
+		format:    Format(p[4]),
+		count:     binary.LittleEndian.Uint32(p[6:10]),
+		groupSize: binary.LittleEndian.Uint32(p[10:14]),
+		smallLen:  binary.LittleEndian.Uint32(p[14:18]),
+		largeLen:  binary.LittleEndian.Uint32(p[18:22]),
+	}, nil
+}
+
+// BuildResult reports what a build produced, for the experiment harness.
+type BuildResult struct {
+	Table *Table
+	// RawBytes is the uncompressed payload size (keys+values+trailers).
+	RawBytes int64
+	// EncodedBytes is the bytes actually written to PM.
+	EncodedBytes int64
+}
+
+// Build encodes entries (which must be sorted in kv.Compare order) into a new
+// table on dev using the given format, charging the write to cause.
+func Build(dev *pmem.Device, entries []kv.Entry, format Format, groupSize int, cause device.Cause) (BuildResult, error) {
+	if len(entries) == 0 {
+		return BuildResult{}, errors.New("pmtable: empty build")
+	}
+	if groupSize <= 0 {
+		groupSize = DefaultGroupSize
+	}
+	var body []byte
+	var err error
+	switch format {
+	case FormatPrefix:
+		body, err = buildPrefixBody(entries, groupSize)
+	case FormatArray:
+		body, err = buildArrayBody(entries)
+	case FormatArraySnappy:
+		body, err = buildSnappyBody(entries)
+	case FormatArraySnappyGroup:
+		body, err = buildSnappyGroupBody(entries, groupSize)
+	default:
+		return BuildResult{}, fmt.Errorf("pmtable: unknown format %v", format)
+	}
+	if err != nil {
+		return BuildResult{}, err
+	}
+
+	smallest := entries[0].Key
+	largest := entries[len(entries)-1].Key
+	img := encodeHeader(nil, header{
+		format:    format,
+		count:     uint32(len(entries)),
+		groupSize: uint32(groupSize),
+		smallLen:  uint32(len(smallest)),
+		largeLen:  uint32(len(largest)),
+	})
+	img = append(img, body...)
+	img = append(img, smallest...)
+	img = append(img, largest...)
+	// Whole-image checksum: Open verifies it so a torn or truncated table is
+	// detected during recovery rather than served.
+	img = binary.LittleEndian.AppendUint32(img, crc32.Checksum(img, castagnoli))
+
+	addr, err := dev.Alloc(len(img))
+	if err != nil {
+		return BuildResult{}, err
+	}
+	if err := dev.WriteAt(addr, 0, img, cause); err != nil {
+		dev.Release(addr)
+		return BuildResult{}, err
+	}
+	dev.Flush()
+
+	t, err := Open(dev, addr)
+	if err != nil {
+		dev.Release(addr)
+		return BuildResult{}, err
+	}
+	var raw int64
+	for _, e := range entries {
+		raw += int64(len(e.Key) + len(e.Value) + 8)
+	}
+	return BuildResult{Table: t, RawBytes: raw, EncodedBytes: int64(len(img))}, nil
+}
+
+// Open reconstructs a table from its arena address (e.g. after restart).
+func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
+	size := dev.Size(addr)
+	if size < 0 {
+		return nil, fmt.Errorf("pmtable: unknown region %d", addr)
+	}
+	hdrView, err := dev.View(addr, 0, int64(encodedHeaderSize), device.CauseClientRead)
+	if err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(hdrView)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		dev:    dev,
+		addr:   addr,
+		format: h.format,
+		count:  int(h.count),
+		size:   size,
+	}
+	// Verify the whole-image checksum before trusting any field.
+	if size < encodedHeaderSize+4 {
+		return nil, ErrCorrupt
+	}
+	img, err := dev.View(addr, 0, size-4, device.CauseClientRead)
+	if err != nil {
+		return nil, err
+	}
+	crcBytes, err := dev.View(addr, size-4, 4, device.CauseClientRead)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(img, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: image checksum", ErrCorrupt)
+	}
+	tail := int64(h.smallLen) + int64(h.largeLen)
+	bodyLen := size - 4 - int64(encodedHeaderSize) - tail
+	if bodyLen < 0 {
+		return nil, ErrCorrupt
+	}
+	keys, err := dev.View(addr, encodedHeaderSize+bodyLen, tail, device.CauseClientRead)
+	if err != nil {
+		return nil, err
+	}
+	t.smallest = append([]byte(nil), keys[:h.smallLen]...)
+	t.largest = append([]byte(nil), keys[h.smallLen:]...)
+
+	body, err := dev.View(addr, encodedHeaderSize, bodyLen, device.CauseClientRead)
+	if err != nil {
+		return nil, err
+	}
+	switch h.format {
+	case FormatPrefix:
+		t.prefix, err = openPrefixMeta(body, int(h.groupSize))
+	case FormatArray, FormatArraySnappy, FormatArraySnappyGroup:
+		t.array, err = openArrayMeta(body, h.format, int(h.groupSize))
+	default:
+		err = fmt.Errorf("pmtable: unknown format %v", h.format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Get returns the newest version of key visible at snapshot seq.
+func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool) {
+	switch t.format {
+	case FormatPrefix:
+		return t.prefixGet(key, seq)
+	default:
+		return t.arrayGet(key, seq)
+	}
+}
+
+// NewIterator walks the table in kv.Compare order.
+func (t *Table) NewIterator() kv.Iterator {
+	switch t.format {
+	case FormatPrefix:
+		return t.newPrefixIterator()
+	default:
+		return t.newArrayIterator()
+	}
+}

@@ -1,0 +1,484 @@
+package pmtable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"pmblade/internal/compress"
+	"pmblade/internal/kv"
+)
+
+// Prefix-format body layout:
+//
+//	meta layer:   dictCount u8 | dict entries: len uvarint + bytes
+//	prefix layer: numGroups u32 | per group (fixed stride):
+//	                P-byte prefix of the group's first full key (zero padded)
+//	                entryOff u32 (offset into entry layer)
+//	                firstIdx u32 (index of the group's first entry)
+//	entry layer:  per group:
+//	                metaIdx u8 | count uvarint | sharedLen uvarint | shared
+//	                per entry: remLen uvarint | valLen uvarint |
+//	                           trailer u64 LE | rem | value
+//
+// Full key = dict[metaIdx] + shared + rem. The dictionary extracts long
+// leading prefixes shared by many keys ({tableID} encodings); the per-group
+// shared prefix removes what the dictionary missed; the fixed-stride prefix
+// layer is what binary search probes.
+
+type prefixMeta struct {
+	body      []byte // zero-copy arena view
+	dict      [][]byte
+	groupSize int
+	numGroups int
+	pfxOff    int // offset of prefix layer in body
+	entryOff  int // offset of entry layer in body
+}
+
+const prefixStride = prefixLen + 8 // prefix + entryOff u32 + firstIdx u32
+
+func buildPrefixBody(entries []kv.Entry, groupSize int) ([]byte, error) {
+	// Meta layer: collect distinct metaPrefixLen-byte leading prefixes, in
+	// first-appearance order, capped at 255 dictionary slots. Keys shorter
+	// than the granularity use the empty dictionary entry 0.
+	dict := [][]byte{{}}
+	dictIdx := make(map[string]int)
+
+	metaIdxOf := func(key []byte) int {
+		if len(key) < metaPrefixLen {
+			return 0
+		}
+		// The map index expression with an inline string conversion is
+		// allocation-free; build throughput depends on it (Figure 6a).
+		if i, ok := dictIdx[string(key[:metaPrefixLen])]; ok {
+			return i
+		}
+		if len(dict) >= 255 {
+			return 0
+		}
+		p := string(key[:metaPrefixLen])
+		dict = append(dict, []byte(p))
+		dictIdx[p] = len(dict) - 1
+		return len(dict) - 1
+	}
+
+	// Split into groups of groupSize entries, additionally breaking at
+	// dictionary-prefix boundaries so one group references one meta entry.
+	type group struct {
+		first, count int
+		metaIdx      int
+	}
+	groups := make([]group, 0, len(entries)/groupSize+1)
+	metaIdxs := make([]int, len(entries))
+	for i := range entries {
+		metaIdxs[i] = metaIdxOf(entries[i].Key)
+	}
+	for i := 0; i < len(entries); {
+		mi := metaIdxs[i]
+		n := 1
+		for n < groupSize && i+n < len(entries) && metaIdxs[i+n] == mi {
+			n++
+		}
+		groups = append(groups, group{first: i, count: n, metaIdx: mi})
+		i += n
+	}
+
+	// Entry layer. Preallocate roughly the payload size so appends do not
+	// repeatedly reallocate.
+	var payload int
+	for i := range entries {
+		payload += len(entries[i].Key) + len(entries[i].Value) + 12
+	}
+	entryLayer := make([]byte, 0, payload)
+	groupOffs := make([]int, len(groups))
+	for gi, g := range groups {
+		groupOffs[gi] = len(entryLayer)
+		dictP := dict[g.metaIdx]
+		// Shared prefix of all keys in the group, beyond the dict prefix.
+		shared := entries[g.first].Key[len(dictP):]
+		for j := 1; j < g.count; j++ {
+			k := entries[g.first+j].Key[len(dictP):]
+			n := compress.SharedPrefixLen(shared, k)
+			shared = shared[:n]
+		}
+		entryLayer = append(entryLayer, byte(g.metaIdx))
+		entryLayer = binary.AppendUvarint(entryLayer, uint64(g.count))
+		entryLayer = binary.AppendUvarint(entryLayer, uint64(len(shared)))
+		entryLayer = append(entryLayer, shared...)
+		for j := 0; j < g.count; j++ {
+			e := entries[g.first+j]
+			rem := e.Key[len(dictP)+len(shared):]
+			entryLayer = binary.AppendUvarint(entryLayer, uint64(len(rem)))
+			entryLayer = binary.AppendUvarint(entryLayer, uint64(len(e.Value)))
+			entryLayer = binary.LittleEndian.AppendUint64(entryLayer, kv.Trailer(e.Seq, e.Kind))
+			entryLayer = append(entryLayer, rem...)
+			entryLayer = append(entryLayer, e.Value...)
+		}
+	}
+
+	// Assemble: meta | prefix layer | entry layer.
+	body := make([]byte, 0, len(entryLayer)+len(groups)*prefixStride+64)
+	body = append(body, byte(len(dict)))
+	for _, d := range dict {
+		body = binary.AppendUvarint(body, uint64(len(d)))
+		body = append(body, d...)
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(groups)))
+	var pfx [prefixLen]byte
+	for gi, g := range groups {
+		for i := range pfx {
+			pfx[i] = 0
+		}
+		copy(pfx[:], entries[g.first].Key)
+		body = append(body, pfx[:]...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(groupOffs[gi]))
+		body = binary.LittleEndian.AppendUint32(body, uint32(g.first))
+	}
+	body = append(body, entryLayer...)
+	return body, nil
+}
+
+func openPrefixMeta(body []byte, groupSize int) (*prefixMeta, error) {
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	m := &prefixMeta{body: body, groupSize: groupSize}
+	dictCount := int(body[0])
+	off := 1
+	for i := 0; i < dictCount; i++ {
+		l, n := binary.Uvarint(body[off:])
+		if n <= 0 || off+n+int(l) > len(body) {
+			return nil, fmt.Errorf("%w: meta layer", ErrCorrupt)
+		}
+		off += n
+		m.dict = append(m.dict, body[off:off+int(l)])
+		off += int(l)
+	}
+	if off+4 > len(body) {
+		return nil, fmt.Errorf("%w: prefix layer header", ErrCorrupt)
+	}
+	m.numGroups = int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	m.pfxOff = off
+	m.entryOff = off + m.numGroups*prefixStride
+	if m.entryOff > len(body) {
+		return nil, fmt.Errorf("%w: prefix layer", ErrCorrupt)
+	}
+	return m, nil
+}
+
+// groupPrefix returns the fixed-length prefix of group gi.
+func (m *prefixMeta) groupPrefix(gi int) []byte {
+	o := m.pfxOff + gi*prefixStride
+	return m.body[o : o+prefixLen]
+}
+
+// groupEntryOff returns the entry-layer offset of group gi.
+func (m *prefixMeta) groupEntryOff(gi int) int {
+	o := m.pfxOff + gi*prefixStride + prefixLen
+	return int(binary.LittleEndian.Uint32(m.body[o:]))
+}
+
+// groupFirstIdx returns the entry index of group gi's first entry.
+func (m *prefixMeta) groupFirstIdx(gi int) int {
+	o := m.pfxOff + gi*prefixStride + prefixLen + 4
+	return int(binary.LittleEndian.Uint32(m.body[o:]))
+}
+
+// fixedPrefix truncates or zero-pads key to prefixLen bytes for comparison
+// against the prefix layer.
+func fixedPrefix(key []byte) [prefixLen]byte {
+	var p [prefixLen]byte
+	copy(p[:], key)
+	return p
+}
+
+// firstKey reconstructs the full first key of group gi (dictionary prefix +
+// shared prefix + first entry remainder) into buf, charging one PM access.
+func (t *Table) firstKey(gi int, buf []byte) ([]byte, error) {
+	t.dev.ChargeAccess()
+	d, err := t.prefix.decodeGroup(gi)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := d.next()
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	return append(buf[:0], e.Key...), nil
+}
+
+// findGroup locates the first group that could contain key. Because group
+// prefixes are truncated first keys and versions of a key sort newest-first,
+// the scan must start at the group *before* the first group whose first key
+// is >= key. The fixed-size prefix layer narrows the range with one PM
+// access per probe; when several groups share the key's truncated prefix, a
+// second binary search on their full first keys resolves the start group, so
+// lookups stay logarithmic even on long-shared-prefix keyspaces.
+func (t *Table) findGroup(key []byte) int {
+	m := t.prefix
+	target := fixedPrefix(key)
+	lo, hi := 0, m.numGroups // first group with prefix >= target
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.dev.ChargeAccess()
+		if bytes.Compare(m.groupPrefix(mid), target[:]) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo - 1
+	if start < 0 {
+		start = 0
+	}
+	// Range of groups whose truncated prefix equals the target's. Gallop so
+	// the common case (no duplicate prefixes) costs one extra probe.
+	eqHi := lo
+	if lo < m.numGroups {
+		t.dev.ChargeAccess()
+		if bytes.Equal(m.groupPrefix(lo), target[:]) {
+			step := 1
+			eqHi = lo + 1
+			for eqHi < m.numGroups {
+				next := eqHi + step
+				if next > m.numGroups {
+					next = m.numGroups
+				}
+				t.dev.ChargeAccess()
+				if !bytes.Equal(m.groupPrefix(next-1), target[:]) {
+					break
+				}
+				eqHi = next
+				step *= 2
+			}
+			// Binary refine within (eqHi-1, min(eqHi+step, n)].
+			h := eqHi + step
+			if h > m.numGroups {
+				h = m.numGroups
+			}
+			for eqHi < h {
+				mid := (eqHi + h) / 2
+				t.dev.ChargeAccess()
+				if bytes.Equal(m.groupPrefix(mid), target[:]) {
+					eqHi = mid + 1
+				} else {
+					h = mid
+				}
+			}
+		}
+	}
+	if eqHi > lo {
+		// First group in [lo, eqHi) whose full first key is >= key; the scan
+		// starts one group earlier because the newest versions of key may
+		// precede that boundary.
+		var buf []byte
+		a, b := lo, eqHi
+		for a < b {
+			mid := (a + b) / 2
+			fk, err := t.firstKey(mid, buf)
+			if err != nil {
+				return start
+			}
+			buf = fk
+			if bytes.Compare(fk, key) < 0 {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		if a > lo {
+			start = a - 1
+		}
+	}
+	return start
+}
+
+// groupDecoder sequentially decodes one group in the entry layer.
+type groupDecoder struct {
+	m       *prefixMeta
+	off     int
+	dictP   []byte
+	shared  []byte
+	count   int
+	i       int
+	keyBuf  []byte
+	lastErr error
+}
+
+func (m *prefixMeta) decodeGroup(gi int) (*groupDecoder, error) {
+	off := m.entryOff + m.groupEntryOff(gi)
+	body := m.body
+	if off >= len(body) {
+		return nil, ErrCorrupt
+	}
+	d := &groupDecoder{m: m}
+	mi := int(body[off])
+	off++
+	if mi >= len(m.dict) {
+		return nil, fmt.Errorf("%w: meta index %d", ErrCorrupt, mi)
+	}
+	d.dictP = m.dict[mi]
+	cnt, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	off += n
+	sl, n := binary.Uvarint(body[off:])
+	if n <= 0 || off+n+int(sl) > len(body) {
+		return nil, ErrCorrupt
+	}
+	off += n
+	d.shared = body[off : off+int(sl)]
+	off += int(sl)
+	d.count = int(cnt)
+	d.off = off
+	return d, nil
+}
+
+// next decodes the next entry in the group; ok is false past the end.
+func (d *groupDecoder) next() (e kv.Entry, ok bool) {
+	if d.i >= d.count {
+		return kv.Entry{}, false
+	}
+	body := d.m.body
+	remLen, n := binary.Uvarint(body[d.off:])
+	if n <= 0 {
+		d.lastErr = ErrCorrupt
+		return kv.Entry{}, false
+	}
+	d.off += n
+	valLen, n := binary.Uvarint(body[d.off:])
+	if n <= 0 {
+		d.lastErr = ErrCorrupt
+		return kv.Entry{}, false
+	}
+	d.off += n
+	if d.off+8+int(remLen)+int(valLen) > len(body) {
+		d.lastErr = ErrCorrupt
+		return kv.Entry{}, false
+	}
+	trailer := binary.LittleEndian.Uint64(body[d.off:])
+	d.off += 8
+	rem := body[d.off : d.off+int(remLen)]
+	d.off += int(remLen)
+	val := body[d.off : d.off+int(valLen)]
+	d.off += int(valLen)
+	d.i++
+
+	d.keyBuf = d.keyBuf[:0]
+	d.keyBuf = append(d.keyBuf, d.dictP...)
+	d.keyBuf = append(d.keyBuf, d.shared...)
+	d.keyBuf = append(d.keyBuf, rem...)
+	seq, kind := kv.SplitTrailer(trailer)
+	return kv.Entry{Key: d.keyBuf, Value: val, Seq: seq, Kind: kind}, true
+}
+
+// prefixGet performs the paper's lookup: binary search the prefix layer, then
+// scan groups sequentially. Returns the newest version with Seq <= seq.
+func (t *Table) prefixGet(key []byte, seq uint64) (kv.Entry, bool) {
+	if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+		return kv.Entry{}, false
+	}
+	m := t.prefix
+	gi := t.findGroup(key)
+	var best kv.Entry
+	found := false
+	for ; gi < m.numGroups; gi++ {
+		t.dev.ChargeAccess() // one PM access to land on the group
+		d, err := m.decodeGroup(gi)
+		if err != nil {
+			return kv.Entry{}, false
+		}
+		for {
+			e, ok := d.next()
+			if !ok {
+				break
+			}
+			c := bytes.Compare(e.Key, key)
+			if c > 0 {
+				return best, found
+			}
+			if c == 0 && e.Seq <= seq {
+				if !found || e.Seq > best.Seq {
+					best = kv.Entry{
+						Key:   append([]byte(nil), e.Key...),
+						Value: append([]byte(nil), e.Value...),
+						Seq:   e.Seq,
+						Kind:  e.Kind,
+					}
+					found = true
+				}
+			}
+		}
+		// If this group's last key was still < key, continue to the next
+		// group; otherwise we have passed key's position.
+		if found {
+			return best, true
+		}
+		// Peek: next group's prefix > key's prefix means key cannot follow.
+		if gi+1 < m.numGroups {
+			target := fixedPrefix(key)
+			if bytes.Compare(m.groupPrefix(gi+1), target[:]) > 0 {
+				return best, found
+			}
+		}
+	}
+	return best, found
+}
+
+// prefixIterator walks all groups in order.
+type prefixIterator struct {
+	t   *Table
+	gi  int
+	dec *groupDecoder
+	cur kv.Entry
+	ok  bool
+}
+
+func (t *Table) newPrefixIterator() kv.Iterator {
+	return &prefixIterator{t: t, gi: -1}
+}
+
+func (it *prefixIterator) SeekToFirst() {
+	it.gi = -1
+	it.dec = nil
+	it.advance()
+}
+
+func (it *prefixIterator) advance() {
+	for {
+		if it.dec != nil {
+			if e, ok := it.dec.next(); ok {
+				it.cur, it.ok = e, true
+				return
+			}
+		}
+		it.gi++
+		if it.gi >= it.t.prefix.numGroups {
+			it.ok = false
+			return
+		}
+		it.t.dev.ChargeAccess()
+		d, err := it.t.prefix.decodeGroup(it.gi)
+		if err != nil {
+			it.ok = false
+			return
+		}
+		it.dec = d
+	}
+}
+
+func (it *prefixIterator) Valid() bool     { return it.ok }
+func (it *prefixIterator) Next()           { it.advance() }
+func (it *prefixIterator) Entry() kv.Entry { return it.cur }
+
+func (it *prefixIterator) SeekGE(key []byte) {
+	gi := it.t.findGroup(key)
+	it.gi = gi - 1
+	it.dec = nil
+	it.advance()
+	for it.ok && bytes.Compare(it.cur.Key, key) < 0 {
+		it.advance()
+	}
+}

@@ -1,0 +1,277 @@
+// Package retail synthesizes an online-retail workload with the
+// characteristics the paper describes for Meituan's production application
+// (Section VI-D):
+//
+//   - 10 tables of ~10 columns each, 3 secondary indexes per table on average;
+//   - a new order inserts rows into multiple tables (~100 KB total, a mix of
+//     sequential primary-key writes and random index writes);
+//   - as the order progresses, its status columns are updated repeatedly,
+//     touching both the record row and the indexes on updated columns;
+//   - reads are mostly index queries: scan the index for row ids, then point
+//     read the rows — and recent orders are far more likely to be read
+//     (temporal hot/warm/cold locality).
+//
+// The generator emits Action values; drivers translate them into engine
+// operations via keyenc.
+package retail
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmblade/internal/keyenc"
+	"pmblade/internal/ycsb"
+)
+
+// Schema constants matching the paper's description.
+const (
+	NumTables       = 10
+	ColumnsPerTable = 10
+	IndexesPerTable = 3
+	// StatusUpdates is how many times an order's status changes over its
+	// lifecycle (payment, packing, delivery, ...).
+	StatusUpdates = 6
+)
+
+// ActionKind labels a generated action.
+type ActionKind int
+
+// Action kinds.
+const (
+	ActInsertOrder ActionKind = iota
+	ActUpdateStatus
+	ActIndexQuery
+	ActPointRead
+)
+
+// Mutation is one key-value write belonging to an action.
+type Mutation struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Query is one read belonging to an action: either a point read of a record
+// key, or an index scan (Prefix) followed by point reads of the results.
+type Query struct {
+	// PointKey, when non-nil, is a record key to read.
+	PointKey []byte
+	// ScanStart/ScanEnd, when non-nil, bound an index scan.
+	ScanStart, ScanEnd []byte
+	// ScanLimit caps the scan.
+	ScanLimit int
+}
+
+// Action is one logical client interaction.
+type Action struct {
+	Kind      ActionKind
+	Mutations []Mutation
+	Queries   []Query
+}
+
+// Config tunes the generator.
+type Config struct {
+	// OrderBytes is the total payload a new order writes (~100 KB in the
+	// paper; scaled down by default).
+	OrderBytes int
+	// ReadFraction of actions are reads (index query or point read).
+	ReadFraction float64
+	// HotWindow is the number of recent orders that absorb most reads and
+	// status updates.
+	HotWindow int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OrderBytes == 0 {
+		c.OrderBytes = 4096
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.HotWindow == 0 {
+		c.HotWindow = 1000
+	}
+	return c
+}
+
+// Generator produces retail actions. Not safe for concurrent use.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	orders uint64 // orders created so far
+	// pendingUpdates maps order id -> remaining status updates.
+	zipf *ycsb.Zipfian
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		zipf: ycsb.NewZipfian(uint64(cfg.HotWindow), 0.99, cfg.Seed+1),
+	}
+}
+
+// Orders reports how many orders have been created.
+func (g *Generator) Orders() uint64 { return g.orders }
+
+// orderPK formats an order's primary key; time-ordered so inserts are
+// sequential per table.
+func orderPK(id uint64) []byte { return []byte(fmt.Sprintf("ord%016d", id)) }
+
+// recentOrder picks an order id biased heavily toward recent ones.
+func (g *Generator) recentOrder() uint64 {
+	if g.orders == 0 {
+		return 0
+	}
+	off := g.zipf.Next(g.rng)
+	if off >= g.orders {
+		off = g.orders - 1
+	}
+	return g.orders - 1 - off
+}
+
+func (g *Generator) value(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte('a' + g.rng.Intn(26))
+	}
+	return v
+}
+
+// statusValue formats an indexed status column value; low cardinality, so
+// index keys share prefixes heavily.
+func (g *Generator) statusValue(step int) []byte {
+	states := []string{"CREATED", "PAID", "PACKING", "SHIPPING", "DELIVERED", "DONE", "RATED"}
+	return []byte(states[step%len(states)])
+}
+
+// insertOrder builds the multi-table insert for a new order: one record row
+// per involved table plus index rows, totalling ~OrderBytes.
+func (g *Generator) insertOrder() Action {
+	id := g.orders
+	g.orders++
+	pk := orderPK(id)
+	// An order touches several tables (order header, items, payment,
+	// delivery, ...). Spread the payload across 4-6 tables.
+	tables := 4 + g.rng.Intn(3)
+	perTable := g.cfg.OrderBytes / tables
+	var muts []Mutation
+	for t := 0; t < tables; t++ {
+		tid := uint64(g.rng.Intn(NumTables) + 1)
+		muts = append(muts, Mutation{
+			Key:   keyenc.RecordKey(tid, pk),
+			Value: g.value(perTable),
+		})
+		// Index rows on ~3 columns: status, city-ish attribute, timestamp
+		// bucket. Index values are small but random → random index writes.
+		muts = append(muts, Mutation{
+			Key:   keyenc.IndexKey(tid, 1, g.statusValue(0), pk),
+			Value: nil,
+		})
+		muts = append(muts, Mutation{
+			Key:   keyenc.IndexKey(tid, 2, []byte(fmt.Sprintf("city-%03d", g.rng.Intn(300))), pk),
+			Value: nil,
+		})
+		muts = append(muts, Mutation{
+			Key:   keyenc.IndexKey(tid, 3, []byte(fmt.Sprintf("slot-%05d", id/64)), pk),
+			Value: nil,
+		})
+	}
+	return Action{Kind: ActInsertOrder, Mutations: muts}
+}
+
+// updateStatus advances a recent order's status: update the record row and
+// replace its status-index entry (delete old + insert new).
+func (g *Generator) updateStatus() Action {
+	id := g.recentOrder()
+	pk := orderPK(id)
+	tid := uint64(g.rng.Intn(NumTables) + 1)
+	step := 1 + g.rng.Intn(StatusUpdates)
+	return Action{
+		Kind: ActUpdateStatus,
+		Mutations: []Mutation{
+			{Key: keyenc.RecordKey(tid, pk), Value: g.value(256)},
+			{Key: keyenc.IndexKey(tid, 1, g.statusValue(step-1), pk), Delete: true},
+			{Key: keyenc.IndexKey(tid, 1, g.statusValue(step), pk)},
+		},
+	}
+}
+
+// indexQuery scans an index for matching row ids, then point reads the rows
+// — the paper's dominant read pattern.
+func (g *Generator) indexQuery() Action {
+	tid := uint64(g.rng.Intn(NumTables) + 1)
+	idx := uint32(g.rng.Intn(IndexesPerTable) + 1)
+	var val []byte
+	switch idx {
+	case 1:
+		val = g.statusValue(g.rng.Intn(StatusUpdates))
+	case 2:
+		val = []byte(fmt.Sprintf("city-%03d", g.rng.Intn(300)))
+	default:
+		id := g.recentOrder()
+		val = []byte(fmt.Sprintf("slot-%05d", id/64))
+	}
+	prefix := keyenc.IndexValuePrefix(tid, idx, val)
+	return Action{
+		Kind: ActIndexQuery,
+		Queries: []Query{{
+			ScanStart: prefix,
+			ScanEnd:   keyenc.PrefixEnd(prefix),
+			ScanLimit: 20,
+		}},
+	}
+}
+
+// pointRead reads a recent order's record row.
+func (g *Generator) pointRead() Action {
+	id := g.recentOrder()
+	tid := uint64(g.rng.Intn(NumTables) + 1)
+	return Action{
+		Kind:    ActPointRead,
+		Queries: []Query{{PointKey: keyenc.RecordKey(tid, orderPK(id))}},
+	}
+}
+
+// Next generates the next action.
+func (g *Generator) Next() Action {
+	if g.orders == 0 {
+		return g.insertOrder()
+	}
+	if g.rng.Float64() < g.cfg.ReadFraction {
+		// Most reads are index queries (the paper: "most of the queries are
+		// index query").
+		if g.rng.Float64() < 0.7 {
+			return g.indexQuery()
+		}
+		return g.pointRead()
+	}
+	// Writes: each order takes StatusUpdates updates over its life, so
+	// updates outnumber inserts.
+	if g.rng.Float64() < float64(StatusUpdates)/float64(StatusUpdates+1) {
+		return g.updateStatus()
+	}
+	return g.insertOrder()
+}
+
+// PartitionBoundaries returns range-partition split points aligned to table
+// prefixes, giving each partition a distinct access pattern (record tables
+// vs index tables), which is how a Blade deployment would partition.
+func PartitionBoundaries(n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	if n > NumTables {
+		n = NumTables
+	}
+	var out [][]byte
+	for i := 1; i < n; i++ {
+		tid := uint64(i*NumTables/n) + 1
+		out = append(out, keyenc.TablePrefix(tid))
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package retail
+
+import (
+	"bytes"
+	"testing"
+
+	"pmblade/internal/keyenc"
+)
+
+func TestFirstActionIsInsert(t *testing.T) {
+	g := New(Config{Seed: 1})
+	a := g.Next()
+	if a.Kind != ActInsertOrder {
+		t.Fatalf("first action = %v, want insert", a.Kind)
+	}
+	if len(a.Mutations) == 0 {
+		t.Fatal("insert has no mutations")
+	}
+}
+
+func TestInsertOrderPayloadSize(t *testing.T) {
+	g := New(Config{OrderBytes: 8192, Seed: 2})
+	a := g.Next()
+	var total int
+	for _, m := range a.Mutations {
+		total += len(m.Key) + len(m.Value)
+	}
+	if total < 4096 || total > 16384 {
+		t.Fatalf("order payload %d, want ~8KB", total)
+	}
+}
+
+func TestInsertWritesRecordsAndIndexes(t *testing.T) {
+	g := New(Config{Seed: 3})
+	a := g.Next()
+	records, indexes := 0, 0
+	for _, m := range a.Mutations {
+		if _, _, err := keyenc.ParseRecordKey(m.Key); err == nil {
+			records++
+			continue
+		}
+		if _, _, _, _, err := keyenc.ParseIndexKey(m.Key); err == nil {
+			indexes++
+			continue
+		}
+		t.Fatalf("mutation key is neither record nor index: %x", m.Key)
+	}
+	if records == 0 || indexes == 0 {
+		t.Fatalf("records=%d indexes=%d, want both > 0", records, indexes)
+	}
+	if indexes < records { // ~3 indexes per record row
+		t.Fatalf("expected more index rows than records: %d vs %d", indexes, records)
+	}
+}
+
+func TestStatusUpdateReplacesIndexEntry(t *testing.T) {
+	g := New(Config{Seed: 4})
+	g.Next() // seed one order
+	var upd *Action
+	for i := 0; i < 1000; i++ {
+		a := g.Next()
+		if a.Kind == ActUpdateStatus {
+			upd = &a
+			break
+		}
+	}
+	if upd == nil {
+		t.Fatal("no status update generated")
+	}
+	var hasDelete, hasInsert, hasRecord bool
+	for _, m := range upd.Mutations {
+		if m.Delete {
+			hasDelete = true
+		} else if _, _, err := keyenc.ParseRecordKey(m.Key); err == nil {
+			hasRecord = true
+		} else {
+			hasInsert = true
+		}
+	}
+	if !hasDelete || !hasInsert || !hasRecord {
+		t.Fatalf("status update incomplete: del=%v ins=%v rec=%v", hasDelete, hasInsert, hasRecord)
+	}
+}
+
+func TestActionMixRoughlyMatchesReadFraction(t *testing.T) {
+	g := New(Config{ReadFraction: 0.5, Seed: 5})
+	reads, writes := 0, 0
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Kind == ActIndexQuery || a.Kind == ActPointRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	frac := float64(reads) / float64(reads+writes)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestIndexQueryBoundsAreValidRange(t *testing.T) {
+	g := New(Config{Seed: 6})
+	g.Next()
+	for i := 0; i < 500; i++ {
+		a := g.Next()
+		if a.Kind != ActIndexQuery {
+			continue
+		}
+		q := a.Queries[0]
+		if q.ScanStart == nil || q.ScanEnd == nil {
+			t.Fatal("index query missing bounds")
+		}
+		if bytes.Compare(q.ScanStart, q.ScanEnd) >= 0 {
+			t.Fatal("scan bounds inverted")
+		}
+	}
+}
+
+func TestReadsFavorRecentOrders(t *testing.T) {
+	g := New(Config{ReadFraction: 0.3, HotWindow: 100, Seed: 7})
+	// Create many orders first.
+	for g.Orders() < 5000 {
+		if a := g.Next(); a.Kind == ActInsertOrder {
+			continue
+		}
+	}
+	recent, total := 0, 0
+	cutoff := []byte("ord0000000000004000")
+	for i := 0; i < 5000; i++ {
+		a := g.Next()
+		if a.Kind != ActPointRead {
+			continue
+		}
+		total++
+		_, pk, err := keyenc.ParseRecordKey(a.Queries[0].PointKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Compare(pk, cutoff) >= 0 {
+			recent++
+		}
+	}
+	if total == 0 {
+		t.Skip("no point reads generated")
+	}
+	if float64(recent)/float64(total) < 0.6 {
+		t.Fatalf("only %d/%d reads hit recent orders", recent, total)
+	}
+}
+
+func TestPartitionBoundaries(t *testing.T) {
+	b := PartitionBoundaries(4)
+	if len(b) != 3 {
+		t.Fatalf("boundaries = %d want 3", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if bytes.Compare(b[i-1], b[i]) >= 0 {
+			t.Fatal("boundaries not increasing")
+		}
+	}
+	if PartitionBoundaries(1) != nil {
+		t.Fatal("single partition needs no boundaries")
+	}
+}

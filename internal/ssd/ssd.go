@@ -1,0 +1,237 @@
+// Package ssd simulates a NAND-flash solid-state drive: page-granular
+// read/write with a service-time latency model and bounded internal
+// parallelism. Requests beyond the device's parallelism queue up, so latency
+// grows under concurrent load — the I/O-contention behaviour the paper's
+// coroutine scheduler exploits (Table III, Figure 9).
+//
+// Files are extents of pages identified by a FileID; contents live in heap
+// memory. Byte counters are attributed per cause for write-amplification
+// accounting.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmblade/internal/clock"
+	"pmblade/internal/device"
+	"pmblade/internal/histogram"
+)
+
+// PageSize is the I/O granularity of the simulated device.
+const PageSize = 4096
+
+// Profile describes the latency model.
+type Profile struct {
+	// ReadLatency / WriteLatency are per-operation service times charged
+	// while holding a parallelism slot.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// ReadBandwidth / WriteBandwidth (bytes/sec) add a per-byte service-time
+	// component; zero disables it.
+	ReadBandwidth  int64
+	WriteBandwidth int64
+	// Parallelism is the number of requests the device services at once
+	// (internal NAND channels); 0 means 8.
+	Parallelism int
+}
+
+// FastProfile has no injected latency (unit tests).
+var FastProfile = Profile{Parallelism: 64}
+
+// NVMeProfile approximates a data-center NVMe drive, scaled so that
+// experiments complete quickly while preserving the PM:SSD latency ratio
+// (~25x reads) the paper's results depend on.
+var NVMeProfile = Profile{
+	ReadLatency:    80 * time.Microsecond,
+	WriteLatency:   60 * time.Microsecond,
+	ReadBandwidth:  3_200 << 20,
+	WriteBandwidth: 1_800 << 20,
+	Parallelism:    8,
+}
+
+// FileID identifies an SSD-resident file.
+type FileID uint64
+
+// ErrNotFound is returned for operations on unknown files.
+var ErrNotFound = errors.New("ssd: file not found")
+
+type file struct {
+	data []byte
+}
+
+// Device is a simulated SSD. All methods are safe for concurrent use.
+type Device struct {
+	profile Profile
+	stats   *device.Stats
+
+	slots   chan struct{} // parallelism tokens
+	queued  atomic.Int64  // requests issued and not yet completed
+	ioLat   *histogram.Histogram
+	mu      sync.RWMutex
+	files   map[FileID]*file
+	nextID  atomic.Uint64
+	written atomic.Int64
+}
+
+// New creates a device with the given profile.
+func New(p Profile) *Device {
+	par := p.Parallelism
+	if par <= 0 {
+		par = 8
+	}
+	d := &Device{
+		profile: p,
+		stats:   device.NewStats(),
+		slots:   make(chan struct{}, par),
+		files:   make(map[FileID]*file),
+		ioLat:   histogram.New(),
+	}
+	return d
+}
+
+// Stats exposes the device counters.
+func (d *Device) Stats() *device.Stats { return d.stats }
+
+// IOLatency exposes the histogram of end-to-end request latencies (queueing
+// plus service); Figure 9(c) and Table III report from it.
+func (d *Device) IOLatency() *histogram.Histogram { return d.ioLat }
+
+// QueueDepth reports requests currently issued and not completed — the
+// paper's q_comp + q_cli signal used by the flush-coroutine admission policy.
+func (d *Device) QueueDepth() int { return int(d.queued.Load()) }
+
+// Parallelism reports the device's internal parallelism.
+func (d *Device) Parallelism() int { return cap(d.slots) }
+
+// serviceTime computes the in-device time for an op of n bytes.
+func (d *Device) serviceTime(write bool, n int) time.Duration {
+	p := d.profile
+	var lat time.Duration
+	var bw int64
+	if write {
+		lat, bw = p.WriteLatency, p.WriteBandwidth
+	} else {
+		lat, bw = p.ReadLatency, p.ReadBandwidth
+	}
+	if bw > 0 {
+		lat += time.Duration(int64(n) * int64(time.Second) / bw)
+	}
+	return lat
+}
+
+// perform executes one request: queue for a slot, hold it for the service
+// time, account busy time and end-to-end latency.
+func (d *Device) perform(write bool, n int) {
+	st := d.serviceTime(write, n)
+	if st <= 0 {
+		return
+	}
+	d.queued.Add(1)
+	start := time.Now()
+	d.slots <- struct{}{}
+	clock.Spin(st)
+	<-d.slots
+	d.queued.Add(-1)
+	d.stats.AddBusy(st)
+	d.ioLat.Record(time.Since(start))
+}
+
+// Create allocates a new empty file.
+func (d *Device) Create() FileID {
+	id := FileID(d.nextID.Add(1))
+	d.mu.Lock()
+	d.files[id] = &file{}
+	d.mu.Unlock()
+	return id
+}
+
+// Delete removes a file. Deleting an unknown file is a no-op.
+func (d *Device) Delete(id FileID) {
+	d.mu.Lock()
+	delete(d.files, id)
+	d.mu.Unlock()
+}
+
+// Size reports a file's length in bytes, or -1 if it does not exist.
+func (d *Device) Size(id FileID) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[id]
+	if !ok {
+		return -1
+	}
+	return int64(len(f.data))
+}
+
+// UsedBytes reports total live bytes across files.
+func (d *Device) UsedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var t int64
+	for _, f := range d.files {
+		t += int64(len(f.data))
+	}
+	return t
+}
+
+// pages rounds n bytes up to whole pages for the latency model.
+func pages(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + PageSize - 1) / PageSize
+}
+
+// Append writes p at the end of the file, charging one queued write per page
+// span. It returns the offset at which the data landed.
+func (d *Device) Append(id FileID, p []byte, cause device.Cause) (int64, error) {
+	d.mu.Lock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.Unlock()
+		return 0, ErrNotFound
+	}
+	off := int64(len(f.data))
+	f.data = append(f.data, p...)
+	d.mu.Unlock()
+	d.perform(true, pages(len(p))*PageSize)
+	d.stats.CountWrite(cause, len(p))
+	d.written.Add(int64(len(p)))
+	return off, nil
+}
+
+// ReadAt fills p from the file at off, charging one queued read per page span.
+func (d *Device) ReadAt(id FileID, off int64, p []byte, cause device.Cause) error {
+	d.mu.RLock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.RUnlock()
+		return ErrNotFound
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(f.data)) {
+		d.mu.RUnlock()
+		return fmt.Errorf("ssd: read out of range file=%d off=%d len=%d size=%d",
+			id, off, len(p), len(f.data))
+	}
+	copy(p, f.data[off:])
+	d.mu.RUnlock()
+	d.perform(false, pages(len(p))*PageSize)
+	d.stats.CountRead(cause, len(p))
+	return nil
+}
+
+// Sync models an fsync; it charges one write-latency barrier.
+func (d *Device) Sync(id FileID) error {
+	d.mu.RLock()
+	_, ok := d.files[id]
+	d.mu.RUnlock()
+	if !ok {
+		return ErrNotFound
+	}
+	d.perform(true, 0)
+	return nil
+}

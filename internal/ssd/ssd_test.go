@@ -1,0 +1,134 @@
+package ssd
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pmblade/internal/device"
+)
+
+func TestCreateAppendRead(t *testing.T) {
+	d := New(FastProfile)
+	f := d.Create()
+	off1, err := d.Append(f, []byte("hello "), device.CauseFlush)
+	if err != nil || off1 != 0 {
+		t.Fatalf("append1: %d %v", off1, err)
+	}
+	off2, err := d.Append(f, []byte("world"), device.CauseFlush)
+	if err != nil || off2 != 6 {
+		t.Fatalf("append2: %d %v", off2, err)
+	}
+	buf := make([]byte, 11)
+	if err := d.ReadAt(f, 0, buf, device.CauseClientRead); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("hello world")) {
+		t.Fatalf("read %q", buf)
+	}
+	if d.Size(f) != 11 {
+		t.Fatalf("size = %d", d.Size(f))
+	}
+}
+
+func TestReadBounds(t *testing.T) {
+	d := New(FastProfile)
+	f := d.Create()
+	_, _ = d.Append(f, []byte("abc"), device.CauseFlush)
+	if err := d.ReadAt(f, 2, make([]byte, 5), device.CauseClientRead); err == nil {
+		t.Fatal("read past EOF must fail")
+	}
+	if err := d.ReadAt(f, -1, make([]byte, 1), device.CauseClientRead); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+}
+
+func TestUnknownFile(t *testing.T) {
+	d := New(FastProfile)
+	if _, err := d.Append(FileID(99), []byte("x"), device.CauseFlush); err != ErrNotFound {
+		t.Fatalf("append: %v", err)
+	}
+	if err := d.ReadAt(FileID(99), 0, make([]byte, 1), device.CauseClientRead); err != ErrNotFound {
+		t.Fatalf("read: %v", err)
+	}
+	if err := d.Sync(FileID(99)); err != ErrNotFound {
+		t.Fatalf("sync: %v", err)
+	}
+	if d.Size(FileID(99)) != -1 {
+		t.Fatal("size of unknown file should be -1")
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	d := New(FastProfile)
+	f := d.Create()
+	_, _ = d.Append(f, make([]byte, 1000), device.CauseFlush)
+	if d.UsedBytes() != 1000 {
+		t.Fatalf("used = %d", d.UsedBytes())
+	}
+	d.Delete(f)
+	if d.UsedBytes() != 0 {
+		t.Fatalf("used after delete = %d", d.UsedBytes())
+	}
+}
+
+func TestLatencyGrowsWithContention(t *testing.T) {
+	// With parallelism 2 and 8 concurrent writers, queueing should push
+	// end-to-end latency well above the raw service time.
+	p := Profile{WriteLatency: 2 * time.Millisecond, Parallelism: 2}
+	d := New(p)
+	f := d.Create()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = d.Append(f, []byte("x"), device.CauseMajor)
+		}()
+	}
+	wg.Wait()
+	// 8 ops, 2 at a time, 2ms each => last waits ~6ms. Mean must exceed the
+	// uncontended 2ms service time.
+	if mean := d.IOLatency().Mean(); mean <= 2*time.Millisecond {
+		t.Fatalf("mean latency %v does not show queueing", mean)
+	}
+	if d.IOLatency().Count() != 8 {
+		t.Fatalf("latency count = %d", d.IOLatency().Count())
+	}
+}
+
+func TestBusyTimeAccrues(t *testing.T) {
+	p := Profile{WriteLatency: time.Millisecond, Parallelism: 4}
+	d := New(p)
+	f := d.Create()
+	for i := 0; i < 5; i++ {
+		_, _ = d.Append(f, []byte("x"), device.CauseFlush)
+	}
+	if busy := d.Stats().BusyTime(); busy < 5*time.Millisecond {
+		t.Fatalf("busy time %v < 5ms", busy)
+	}
+}
+
+func TestQueueDepthReturnsToZero(t *testing.T) {
+	d := New(FastProfile)
+	f := d.Create()
+	_, _ = d.Append(f, []byte("x"), device.CauseFlush)
+	if qd := d.QueueDepth(); qd != 0 {
+		t.Fatalf("queue depth = %d after quiesce", qd)
+	}
+}
+
+func TestWriteAttribution(t *testing.T) {
+	d := New(FastProfile)
+	f := d.Create()
+	_, _ = d.Append(f, make([]byte, 100), device.CauseMajor)
+	_, _ = d.Append(f, make([]byte, 50), device.CauseWAL)
+	if d.Stats().WriteBytes(device.CauseMajor) != 100 {
+		t.Fatal("major bytes wrong")
+	}
+	if d.Stats().WriteBytes(device.CauseWAL) != 50 {
+		t.Fatal("wal bytes wrong")
+	}
+}

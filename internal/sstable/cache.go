@@ -1,0 +1,110 @@
+package sstable
+
+import (
+	"container/list"
+	"sync"
+
+	"pmblade/internal/ssd"
+)
+
+// BlockCache is a shared LRU cache of decoded (crc-stripped) data blocks,
+// keyed by (file, offset). It models RocksDB's block cache; Table I's
+// "SSTable in cache" configuration reads through a cache large enough to
+// hold the working set.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[cacheKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	file ssd.FileID
+	off  int64
+}
+
+type cacheItem struct {
+	key  cacheKey
+	body []byte
+}
+
+// NewBlockCache creates a cache bounded to capacity bytes.
+func NewBlockCache(capacity int64) *BlockCache {
+	return &BlockCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *BlockCache) get(file ssd.FileID, off int64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{file, off}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).body, true
+}
+
+func (c *BlockCache) put(file ssd.FileID, off int64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{file, off}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	cp := append([]byte(nil), body...)
+	el := c.ll.PushFront(&cacheItem{key: k, body: cp})
+	c.items[k] = el
+	c.used += int64(len(cp))
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		item := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, item.key)
+		c.used -= int64(len(item.body))
+	}
+}
+
+// HitRate reports hits/(hits+misses), or 0 when unused.
+func (c *BlockCache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Used reports the cached bytes.
+func (c *BlockCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// DropFile evicts all blocks of a deleted file.
+func (c *BlockCache) DropFile(file ssd.FileID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		item := el.Value.(*cacheItem)
+		if item.key.file == file {
+			c.ll.Remove(el)
+			delete(c.items, item.key)
+			c.used -= int64(len(item.body))
+		}
+		el = next
+	}
+}

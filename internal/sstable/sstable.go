@@ -1,0 +1,828 @@
+// Package sstable implements the on-SSD sorted table used by level-1 and
+// below (and by the RocksDB-emulation baseline): 4 KiB data blocks with
+// restart-point key prefix compression, an index block mapping separator keys
+// to block handles, a Bloom filter, and a footer. A shared LRU block cache
+// gives the "SSTable in cache" behaviour Table I of the paper measures.
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"pmblade/internal/bloom"
+	"pmblade/internal/compress"
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/ssd"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a malformed table.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+const (
+	// BlockSize is the target uncompressed size of a data block.
+	BlockSize = 4096
+	// restartInterval is the number of entries between restart points.
+	restartInterval = 16
+	footerSize      = 8*6 + 4    // index, filter, props (off/len each), magic
+	tableMagic      = 0x53535442 // "SSTB"
+
+	// Block flag bytes.
+	blockRaw        = 0
+	blockCompressed = 1
+)
+
+// blockHandle locates a block within the file.
+type blockHandle struct {
+	off, len int64
+}
+
+// WriteSink performs the builder's device appends. The default sink appends
+// each chunk inline; compaction supplies a sink that batches chunks into a
+// write buffer and routes its flushes (S3 stages) through the scheduler —
+// possibly asynchronously, as long as appends to the file stay ordered and
+// Barrier blocks until everything issued has landed.
+type WriteSink interface {
+	// Bind tells the sink where appends go; the builder calls it once.
+	Bind(dev *ssd.Device, file FileAlias, cause device.Cause)
+	// Append schedules an ordered append of p; the sink takes ownership.
+	Append(p []byte)
+	// Barrier flushes buffered data and blocks until every append has run,
+	// reporting the first device error.
+	Barrier() error
+}
+
+// FileAlias re-exports the device file id for sink implementations.
+type FileAlias = ssd.FileID
+
+// directSink appends immediately.
+type directSink struct {
+	dev   *ssd.Device
+	file  ssd.FileID
+	cause device.Cause
+	err   error
+}
+
+func (s *directSink) Bind(dev *ssd.Device, file FileAlias, cause device.Cause) {
+	s.dev, s.file, s.cause = dev, file, cause
+}
+
+func (s *directSink) Append(p []byte) {
+	if s.err != nil {
+		return
+	}
+	if _, err := s.dev.Append(s.file, p, s.cause); err != nil {
+		s.err = err
+	}
+}
+
+func (s *directSink) Barrier() error { return s.err }
+
+// Builder writes an SSTable to an SSD file. Entries must be added in
+// kv.Compare order.
+type Builder struct {
+	dev   *ssd.Device
+	file  ssd.FileID
+	cause device.Cause
+	sink  WriteSink
+	off   int64 // logical file offset (tracked so appends may be async)
+
+	block      []byte
+	restarts   []uint32
+	nInBlock   int
+	lastKey    []byte
+	blockFirst []byte
+
+	index    []byte // index block under construction
+	keys     [][]byte
+	count    int
+	smallest []byte
+	largest  []byte
+	written  int64
+	closed   bool
+
+	compression bool
+}
+
+// EnableCompression turns on LZ block compression (RocksDB compresses data
+// blocks with snappy by default); must be called before the first Add.
+func (b *Builder) EnableCompression() { b.compression = true }
+
+// NewBuilder starts a table in a fresh file on dev; writes are attributed to
+// cause (flush for minor compaction in the baseline, major for L0→L1, ...).
+func NewBuilder(dev *ssd.Device, cause device.Cause) *Builder {
+	return NewBuilderWithSink(dev, cause, &directSink{})
+}
+
+// NewBuilderWithSink starts a builder whose device appends go through sink.
+func NewBuilderWithSink(dev *ssd.Device, cause device.Cause, sink WriteSink) *Builder {
+	b := &Builder{dev: dev, file: dev.Create(), cause: cause, sink: sink}
+	sink.Bind(dev, b.file, cause)
+	return b
+}
+
+// appendViaSink schedules one ordered device append of p and returns the
+// logical offset it will land at. p must not be mutated afterwards.
+func (b *Builder) appendViaSink(p []byte) int64 {
+	off := b.off
+	b.off += int64(len(p))
+	b.sink.Append(p)
+	return off
+}
+
+// Add appends an entry. It returns an error if the builder is finished or
+// entries arrive out of order.
+func (b *Builder) Add(e kv.Entry) error {
+	if b.closed {
+		return errors.New("sstable: builder finished")
+	}
+	ik := kv.AppendInternalKey(nil, e.Key, e.Seq, e.Kind)
+	if b.lastKey != nil && kv.CompareInternalKeys(b.lastKey, ik) >= 0 {
+		return fmt.Errorf("sstable: out-of-order add %q after %q", e.Key, b.lastKey)
+	}
+	if b.smallest == nil {
+		b.smallest = append([]byte(nil), e.Key...)
+	}
+	b.largest = append(b.largest[:0], e.Key...)
+	b.keys = append(b.keys, append([]byte(nil), e.Key...))
+
+	// Restart-point prefix compression within the block.
+	shared := 0
+	if b.nInBlock%restartInterval == 0 {
+		b.restarts = append(b.restarts, uint32(len(b.block)))
+	} else {
+		shared = sharedLen(b.lastKey, ik)
+	}
+	if b.blockFirst == nil {
+		b.blockFirst = append([]byte(nil), e.Key...)
+	}
+	b.block = binary.AppendUvarint(b.block, uint64(shared))
+	b.block = binary.AppendUvarint(b.block, uint64(len(ik)-shared))
+	b.block = binary.AppendUvarint(b.block, uint64(len(e.Value)))
+	b.block = append(b.block, ik[shared:]...)
+	b.block = append(b.block, e.Value...)
+	b.lastKey = ik
+	b.nInBlock++
+	b.count++
+
+	if len(b.block) >= BlockSize {
+		return b.finishBlock()
+	}
+	return nil
+}
+
+func sharedLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// finishBlock seals the current data block, writes it, and adds an index
+// entry mapping the block's last key to its handle. On-device layout:
+// flag byte (0 raw, 1 LZ-compressed) | payload | crc32 over flag+payload.
+func (b *Builder) finishBlock() error {
+	if b.nInBlock == 0 {
+		return nil
+	}
+	// Trailer: restart offsets + count.
+	for _, r := range b.restarts {
+		b.block = binary.LittleEndian.AppendUint32(b.block, r)
+	}
+	b.block = binary.LittleEndian.AppendUint32(b.block, uint32(len(b.restarts)))
+
+	blk := make([]byte, 1, len(b.block)+8)
+	blk[0] = blockRaw
+	if b.compression {
+		blk = compress.Compress(blk, b.block)
+		if len(blk)-1 < len(b.block) {
+			blk[0] = blockCompressed
+		} else {
+			blk = append(blk[:1], b.block...)
+		}
+	} else {
+		blk = append(blk, b.block...)
+	}
+	blk = binary.LittleEndian.AppendUint32(blk, crc32.Checksum(blk[:len(blk)], castagnoli))
+	off := b.appendViaSink(blk)
+	// Index entry: lastInternalKey | handle.
+	b.index = binary.AppendUvarint(b.index, uint64(len(b.lastKey)))
+	b.index = append(b.index, b.lastKey...)
+	b.index = binary.AppendUvarint(b.index, uint64(off))
+	b.index = binary.AppendUvarint(b.index, uint64(len(blk)))
+
+	b.written += int64(len(blk))
+	b.block = b.block[:0]
+	b.restarts = b.restarts[:0]
+	b.nInBlock = 0
+	b.blockFirst = nil
+	b.lastKey = nil
+	return nil
+}
+
+// Finish seals the table and returns its immutable reader.
+func (b *Builder) Finish() (*Table, error) {
+	if b.closed {
+		return nil, errors.New("sstable: already finished")
+	}
+	b.closed = true
+	if b.count == 0 {
+		b.dev.Delete(b.file)
+		return nil, errors.New("sstable: empty table")
+	}
+	if err := b.finishBlock(); err != nil {
+		return nil, err
+	}
+	idxOff := b.appendViaSink(b.index)
+	filter := bloom.New(b.keys, 10)
+	fEnc := filter.Encode()
+	fOff := b.appendViaSink(fEnc)
+	// Properties: entry count and key bounds, so Open need not scan blocks.
+	var props []byte
+	props = binary.LittleEndian.AppendUint64(props, uint64(b.count))
+	props = binary.AppendUvarint(props, uint64(len(b.smallest)))
+	props = append(props, b.smallest...)
+	props = binary.AppendUvarint(props, uint64(len(b.largest)))
+	props = append(props, b.largest...)
+	pOff := b.appendViaSink(props)
+	var footer []byte
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(idxOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(b.index)))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(fOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(fEnc)))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(pOff))
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(len(props)))
+	footer = binary.LittleEndian.AppendUint32(footer, tableMagic)
+	b.appendViaSink(footer)
+	if err := b.sink.Barrier(); err != nil {
+		b.dev.Delete(b.file)
+		return nil, err
+	}
+	if err := b.dev.Sync(b.file); err != nil {
+		return nil, err
+	}
+	return Open(b.dev, b.file, nil)
+}
+
+// Abandon discards a partially built table.
+func (b *Builder) Abandon() {
+	b.closed = true
+	b.dev.Delete(b.file)
+}
+
+// indexEntry is one decoded index-block record.
+type indexEntry struct {
+	lastIK []byte
+	handle blockHandle
+}
+
+// Table is an immutable reader over a finished SSTable. Tables are
+// reference-counted: Open returns a table with one (owner) reference;
+// readers that access a table concurrently with compaction take a reference
+// via Ref/Unref so the backing file is deleted only after the last reader
+// drains.
+type Table struct {
+	dev    *ssd.Device
+	file   ssd.FileID
+	index  []indexEntry
+	filter *bloom.Filter
+	cache  *BlockCache
+
+	smallest []byte
+	largest  []byte
+	count    int
+	size     int64
+
+	refs atomic.Int32
+}
+
+// Ref takes a reference, keeping the backing file alive.
+func (t *Table) Ref() { t.refs.Add(1) }
+
+// Unref drops a reference; the last drop deletes the backing file and its
+// cached blocks.
+func (t *Table) Unref() {
+	if t.refs.Add(-1) == 0 {
+		if t.cache != nil {
+			t.cache.DropFile(t.file)
+		}
+		t.dev.Delete(t.file)
+	}
+}
+
+// Open reads the footer, index and filter of a finished table. cache may be
+// nil (no caching).
+func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
+	size := dev.Size(file)
+	if size < footerSize {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	footer := make([]byte, footerSize)
+	if err := dev.ReadAt(file, size-footerSize, footer, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(footer[48:]) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	idxLen := int64(binary.LittleEndian.Uint64(footer[8:16]))
+	fOff := int64(binary.LittleEndian.Uint64(footer[16:24]))
+	fLen := int64(binary.LittleEndian.Uint64(footer[24:32]))
+	pOff := int64(binary.LittleEndian.Uint64(footer[32:40]))
+	pLen := int64(binary.LittleEndian.Uint64(footer[40:48]))
+	if idxOff < 0 || idxLen < 0 || fOff < 0 || fLen < 0 || pOff < 0 || pLen < 0 ||
+		idxOff+idxLen > size || fOff+fLen > size || pOff+pLen > size {
+		return nil, fmt.Errorf("%w: bad footer", ErrCorrupt)
+	}
+
+	idxRaw := make([]byte, idxLen)
+	if err := dev.ReadAt(file, idxOff, idxRaw, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	t := &Table{dev: dev, file: file, cache: cache, size: size}
+	t.refs.Store(1)
+	for len(idxRaw) > 0 {
+		kl, n := binary.Uvarint(idxRaw)
+		if n <= 0 || n+int(kl) > len(idxRaw) {
+			return nil, fmt.Errorf("%w: index entry", ErrCorrupt)
+		}
+		ik := idxRaw[n : n+int(kl)]
+		idxRaw = idxRaw[n+int(kl):]
+		off, n := binary.Uvarint(idxRaw)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: index handle", ErrCorrupt)
+		}
+		idxRaw = idxRaw[n:]
+		blen, n := binary.Uvarint(idxRaw)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: index handle len", ErrCorrupt)
+		}
+		idxRaw = idxRaw[n:]
+		t.index = append(t.index, indexEntry{
+			lastIK: append([]byte(nil), ik...),
+			handle: blockHandle{off: int64(off), len: int64(blen)},
+		})
+	}
+	if len(t.index) == 0 {
+		return nil, fmt.Errorf("%w: empty index", ErrCorrupt)
+	}
+
+	fRaw := make([]byte, fLen)
+	if err := dev.ReadAt(file, fOff, fRaw, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	t.filter = bloom.Decode(fRaw)
+
+	// Properties: count and bounds without touching data blocks.
+	pRaw := make([]byte, pLen)
+	if err := dev.ReadAt(file, pOff, pRaw, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	if len(pRaw) < 8 {
+		return nil, fmt.Errorf("%w: properties", ErrCorrupt)
+	}
+	t.count = int(binary.LittleEndian.Uint64(pRaw))
+	rest := pRaw[8:]
+	sl, n := binary.Uvarint(rest)
+	if n <= 0 || n+int(sl) > len(rest) {
+		return nil, fmt.Errorf("%w: properties smallest", ErrCorrupt)
+	}
+	t.smallest = append([]byte(nil), rest[n:n+int(sl)]...)
+	rest = rest[n+int(sl):]
+	ll, n := binary.Uvarint(rest)
+	if n <= 0 || n+int(ll) > len(rest) {
+		return nil, fmt.Errorf("%w: properties largest", ErrCorrupt)
+	}
+	t.largest = append([]byte(nil), rest[n:n+int(ll)]...)
+	return t, nil
+}
+
+// File exposes the underlying SSD file.
+func (t *Table) File() ssd.FileID { return t.file }
+
+// Smallest returns the smallest user key.
+func (t *Table) Smallest() []byte { return t.smallest }
+
+// Largest returns the largest user key.
+func (t *Table) Largest() []byte { return t.largest }
+
+// Len reports the number of entries.
+func (t *Table) Len() int { return t.count }
+
+// SizeBytes reports the file size.
+func (t *Table) SizeBytes() int64 { return t.size }
+
+// Delete releases the owner reference; the file disappears once concurrent
+// readers have drained.
+func (t *Table) Delete() { t.Unref() }
+
+// decodeRawBlock verifies and unwraps one on-device block image
+// (flag | payload | crc) into its logical body, decompressing if needed.
+func decodeRawBlock(raw []byte) ([]byte, error) {
+	if len(raw) < 5 {
+		return nil, ErrCorrupt
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: block crc", ErrCorrupt)
+	}
+	switch body[0] {
+	case blockRaw:
+		return body[1:], nil
+	case blockCompressed:
+		return compress.Decompress(nil, body[1:])
+	default:
+		return nil, fmt.Errorf("%w: block flag %d", ErrCorrupt, body[0])
+	}
+}
+
+// readBlock fetches a block through the cache if present.
+func (t *Table) readBlock(h blockHandle, cause device.Cause) ([]byte, error) {
+	if t.cache != nil {
+		if blk, ok := t.cache.get(t.file, h.off); ok {
+			return blk, nil
+		}
+	}
+	raw := make([]byte, h.len)
+	if err := t.dev.ReadAt(t.file, h.off, raw, cause); err != nil {
+		return nil, err
+	}
+	body, err := decodeRawBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil {
+		t.cache.put(t.file, h.off, body)
+	}
+	return body, nil
+}
+
+// decodeBlockEntries expands a block (without its crc) into entries.
+func decodeBlockEntries(body []byte, out []kv.Entry) ([]kv.Entry, error) {
+	if len(body) < 4 {
+		return nil, ErrCorrupt
+	}
+	nRestarts := int(binary.LittleEndian.Uint32(body[len(body)-4:]))
+	dataEnd := len(body) - 4 - nRestarts*4
+	if dataEnd < 0 {
+		return nil, ErrCorrupt
+	}
+	data := body[:dataEnd]
+	var prevIK []byte
+	for len(data) > 0 {
+		shared, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+		unshared, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+		vlen, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		data = data[n:]
+		if int(shared) > len(prevIK) || int(unshared)+int(vlen) > len(data) {
+			return nil, ErrCorrupt
+		}
+		ik := make([]byte, 0, shared+unshared)
+		ik = append(ik, prevIK[:shared]...)
+		ik = append(ik, data[:unshared]...)
+		data = data[unshared:]
+		val := data[:vlen]
+		data = data[vlen:]
+		key, seq, kind := kv.ParseInternalKey(ik)
+		out = append(out, kv.Entry{Key: key, Value: append([]byte(nil), val...), Seq: seq, Kind: kind})
+		prevIK = ik
+	}
+	return out, nil
+}
+
+// Get returns the newest version of key visible at seq.
+func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
+	if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+		return kv.Entry{}, false, nil
+	}
+	if t.filter != nil && !t.filter.MayContain(key) {
+		return kv.Entry{}, false, nil
+	}
+	probe := kv.AppendInternalKey(nil, key, seq, kv.KindDelete)
+	// First block whose lastIK >= probe may contain the answer.
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kv.CompareInternalKeys(t.index[mid].lastIK, probe) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for bi := lo; bi < len(t.index); bi++ {
+		body, err := t.readBlock(t.index[bi].handle, device.CauseClientRead)
+		if err != nil {
+			return kv.Entry{}, false, err
+		}
+		e, status, err := findInBlock(body, key, seq)
+		if err != nil {
+			return kv.Entry{}, false, err
+		}
+		switch status {
+		case foundHit:
+			return e, true, nil
+		case foundPast:
+			return kv.Entry{}, false, nil
+		}
+		// foundContinue: key range continues in the next block.
+	}
+	return kv.Entry{}, false, nil
+}
+
+// findStatus reports the outcome of an in-block search.
+type findStatus int
+
+const (
+	foundHit      findStatus = iota // entry located
+	foundPast                       // a key greater than the target was seen
+	foundContinue                   // block ended at or below the target key
+)
+
+// findInBlock binary-searches the block's restart points, then decodes
+// forward from the chosen restart — the RocksDB lookup path, which avoids
+// materializing the whole block.
+func findInBlock(body []byte, key []byte, seq uint64) (kv.Entry, findStatus, error) {
+	if len(body) < 4 {
+		return kv.Entry{}, foundPast, ErrCorrupt
+	}
+	nRestarts := int(binary.LittleEndian.Uint32(body[len(body)-4:]))
+	dataEnd := len(body) - 4 - nRestarts*4
+	if dataEnd < 0 || nRestarts == 0 {
+		return kv.Entry{}, foundPast, ErrCorrupt
+	}
+	restartOf := func(i int) int {
+		return int(binary.LittleEndian.Uint32(body[dataEnd+4*i:]))
+	}
+	// Restart entries have shared=0, so their full internal key is inline:
+	// skip shared/unshared/vlen varints, read unshared bytes.
+	keyAtRestart := func(off int) ([]byte, error) {
+		p := body[off:dataEnd]
+		_, n1 := binary.Uvarint(p) // shared == 0
+		if n1 <= 0 {
+			return nil, ErrCorrupt
+		}
+		unshared, n2 := binary.Uvarint(p[n1:])
+		if n2 <= 0 {
+			return nil, ErrCorrupt
+		}
+		_, n3 := binary.Uvarint(p[n1+n2:])
+		if n3 <= 0 {
+			return nil, ErrCorrupt
+		}
+		h := n1 + n2 + n3
+		if h+int(unshared) > len(p) {
+			return nil, ErrCorrupt
+		}
+		return p[h : h+int(unshared)], nil
+	}
+	probe := kv.AppendInternalKey(nil, key, seq, kv.KindDelete)
+	// Last restart whose key <= probe.
+	lo, hi := 0, nRestarts
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rk, err := keyAtRestart(restartOf(mid))
+		if err != nil {
+			return kv.Entry{}, foundPast, err
+		}
+		if kv.CompareInternalKeys(rk, probe) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := 0
+	if lo > 0 {
+		start = restartOf(lo - 1)
+	}
+	// Linear decode from the restart.
+	data := body[start:dataEnd]
+	var ikBuf []byte
+	for len(data) > 0 {
+		shared, n := binary.Uvarint(data)
+		if n <= 0 {
+			return kv.Entry{}, foundPast, ErrCorrupt
+		}
+		data = data[n:]
+		unshared, n := binary.Uvarint(data)
+		if n <= 0 {
+			return kv.Entry{}, foundPast, ErrCorrupt
+		}
+		data = data[n:]
+		vlen, n := binary.Uvarint(data)
+		if n <= 0 {
+			return kv.Entry{}, foundPast, ErrCorrupt
+		}
+		data = data[n:]
+		if int(shared) > len(ikBuf) || int(unshared)+int(vlen) > len(data) {
+			return kv.Entry{}, foundPast, ErrCorrupt
+		}
+		ikBuf = append(ikBuf[:int(shared)], data[:unshared]...)
+		data = data[unshared:]
+		val := data[:vlen]
+		data = data[vlen:]
+		ukey, s, kind := kv.ParseInternalKey(ikBuf)
+		c := bytes.Compare(ukey, key)
+		if c > 0 {
+			return kv.Entry{}, foundPast, nil
+		}
+		if c == 0 && s <= seq {
+			return kv.Entry{
+				Key:   append([]byte(nil), ukey...),
+				Value: append([]byte(nil), val...),
+				Seq:   s,
+				Kind:  kind,
+			}, foundHit, nil
+		}
+	}
+	return kv.Entry{}, foundContinue, nil
+}
+
+// Iterator walks the table in order. Blocks are decoded lazily; compaction
+// iterators enable readahead so sequential scans fetch many consecutive
+// blocks per device read instead of one.
+type Iterator struct {
+	t       *Table
+	bi      int
+	entries []kv.Entry
+	ei      int
+	err     error
+
+	readahead int    // bytes per device read when scanning (0 = one block)
+	raBuf     []byte // raw bytes covering blocks [raFirst, raLast]
+	raFirst   int
+	raLast    int
+	raOff     int64
+}
+
+// NewIterator returns an iterator; call SeekToFirst or SeekGE first.
+func (t *Table) NewIterator() *Iterator { return &Iterator{t: t, bi: -1, raFirst: -1} }
+
+// NewCompactionIterator returns an iterator with large sequential readahead
+// — the S1 read pattern of major compaction.
+func (t *Table) NewCompactionIterator(readaheadBytes int) *Iterator {
+	if readaheadBytes < BlockSize {
+		readaheadBytes = 256 << 10
+	}
+	return &Iterator{t: t, bi: -1, raFirst: -1, readahead: readaheadBytes}
+}
+
+// Err reports the first I/O or corruption error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// Prefetch performs the next sequential device read (S1) so that subsequent
+// Next calls decode from memory. It is a no-op without readahead or when the
+// buffer already covers upcoming blocks.
+func (it *Iterator) Prefetch() {
+	if it.readahead == 0 || it.err != nil {
+		return
+	}
+	next := it.bi + 1
+	if it.raFirst >= 0 && next <= it.raLast {
+		return // upcoming blocks already buffered
+	}
+	if next < 0 {
+		next = 0
+	}
+	if next >= len(it.t.index) {
+		return
+	}
+	if _, err := it.rawBlock(next); err != nil {
+		it.err = err
+	}
+}
+
+// rawBlock returns the on-device image of block bi, reading ahead when
+// enabled.
+func (it *Iterator) rawBlock(bi int) ([]byte, error) {
+	h := it.t.index[bi].handle
+	if it.readahead == 0 {
+		return nil, nil // caller uses readBlock
+	}
+	if it.raFirst >= 0 && bi >= it.raFirst && bi <= it.raLast {
+		off := h.off - it.raOff
+		return it.raBuf[off : off+h.len], nil
+	}
+	// Read a span of consecutive blocks starting at bi totalling up to
+	// readahead bytes.
+	last := bi
+	span := it.t.index[bi].handle.len
+	for last+1 < len(it.t.index) {
+		nh := it.t.index[last+1].handle
+		if span+nh.len > int64(it.readahead) {
+			break
+		}
+		span += nh.len
+		last++
+	}
+	buf := make([]byte, span)
+	if err := it.t.dev.ReadAt(it.t.file, h.off, buf, device.CauseClientRead); err != nil {
+		return nil, err
+	}
+	it.raBuf, it.raFirst, it.raLast, it.raOff = buf, bi, last, h.off
+	return buf[:h.len], nil
+}
+
+func (it *Iterator) loadBlock(bi int) bool {
+	var body []byte
+	var err error
+	if it.readahead > 0 {
+		var raw []byte
+		raw, err = it.rawBlock(bi)
+		if err == nil {
+			body, err = decodeRawBlock(raw)
+		}
+	} else {
+		body, err = it.t.readBlock(it.t.index[bi].handle, device.CauseClientRead)
+	}
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.entries, err = decodeBlockEntries(body, it.entries[:0])
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.bi = bi
+	it.ei = 0
+	return true
+}
+
+// SeekToFirst implements kv.Iterator.
+func (it *Iterator) SeekToFirst() {
+	if len(it.t.index) == 0 || !it.loadBlock(0) {
+		it.entries = nil
+	}
+}
+
+// Valid implements kv.Iterator.
+func (it *Iterator) Valid() bool { return it.ei < len(it.entries) }
+
+// Entry implements kv.Iterator.
+func (it *Iterator) Entry() kv.Entry { return it.entries[it.ei] }
+
+// Next implements kv.Iterator.
+func (it *Iterator) Next() {
+	it.ei++
+	if it.ei >= len(it.entries) {
+		if it.bi+1 < len(it.t.index) {
+			if !it.loadBlock(it.bi + 1) {
+				it.entries = nil
+			}
+		} else {
+			it.entries = it.entries[:0]
+			it.ei = 0
+		}
+	}
+}
+
+// SeekGE implements kv.Iterator.
+func (it *Iterator) SeekGE(key []byte) {
+	probe := kv.AppendInternalKey(nil, key, kv.MaxSeq, kv.KindDelete)
+	lo, hi := 0, len(it.t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kv.CompareInternalKeys(it.t.index[mid].lastIK, probe) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(it.t.index) {
+		it.entries = nil
+		it.ei = 0
+		return
+	}
+	if !it.loadBlock(lo) {
+		it.entries = nil
+		return
+	}
+	for it.ei < len(it.entries) && bytes.Compare(it.entries[it.ei].Key, key) < 0 {
+		it.ei++
+	}
+	if it.ei >= len(it.entries) {
+		it.Next()
+	}
+}

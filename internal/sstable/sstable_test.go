@@ -1,0 +1,284 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/ssd"
+)
+
+func buildTable(t *testing.T, dev *ssd.Device, entries []kv.Entry, cache *BlockCache) *Table {
+	t.Helper()
+	b := NewBuilder(dev, device.CauseMajor)
+	for _, e := range entries {
+		if err := b.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != nil {
+		tbl.cache = cache
+	}
+	return tbl
+}
+
+func sortedEntries(n int, seed int64) []kv.Entry {
+	rng := rand.New(rand.NewSource(seed))
+	var entries []kv.Entry
+	for i := 0; i < n; i++ {
+		entries = append(entries, kv.Entry{
+			Key:   []byte(fmt.Sprintf("user-key-%06d", rng.Intn(n*2))),
+			Value: []byte(fmt.Sprintf("value-%d", i)),
+			Seq:   uint64(i + 1),
+			Kind:  kv.KindSet,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return kv.Compare(entries[i], entries[j]) < 0 })
+	return entries
+}
+
+func TestBuildAndIterate(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(2000, 1)
+	tbl := buildTable(t, dev, entries, nil)
+	if tbl.Len() != len(entries) {
+		t.Fatalf("Len = %d want %d", tbl.Len(), len(entries))
+	}
+	it := tbl.NewIterator()
+	it.SeekToFirst()
+	for i := range entries {
+		if !it.Valid() {
+			t.Fatalf("exhausted at %d (err=%v)", i, it.Err())
+		}
+		got := it.Entry()
+		if !bytes.Equal(got.Key, entries[i].Key) || got.Seq != entries[i].Seq ||
+			!bytes.Equal(got.Value, entries[i].Value) {
+			t.Fatalf("pos %d: got %v want %v", i, got, entries[i])
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("should be exhausted")
+	}
+}
+
+func TestGetAcrossBlocks(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(5000, 2) // spans many 4K blocks
+	tbl := buildTable(t, dev, entries, nil)
+	model := map[string]kv.Entry{}
+	for _, e := range entries {
+		if old, ok := model[string(e.Key)]; !ok || e.Seq > old.Seq {
+			model[string(e.Key)] = e
+		}
+	}
+	for k, want := range model {
+		got, ok, err := tbl.Get([]byte(k), kv.MaxSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || got.Seq != want.Seq {
+			t.Fatalf("Get(%q) = %v,%v want seq %d", k, got, ok, want.Seq)
+		}
+	}
+	if _, ok, _ := tbl.Get([]byte("zzzz-not-there"), kv.MaxSeq); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestGetSnapshotVisibility(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := []kv.Entry{
+		{Key: []byte("k"), Value: []byte("v3"), Seq: 30},
+		{Key: []byte("k"), Value: []byte("v2"), Seq: 20, Kind: kv.KindDelete},
+		{Key: []byte("k"), Value: []byte("v1"), Seq: 10},
+	}
+	tbl := buildTable(t, dev, entries, nil)
+	e, ok, _ := tbl.Get([]byte("k"), 25)
+	if !ok || e.Kind != kv.KindDelete {
+		t.Fatalf("Get@25 = %v,%v want tombstone", e, ok)
+	}
+	e, ok, _ = tbl.Get([]byte("k"), 15)
+	if !ok || string(e.Value) != "v1" {
+		t.Fatalf("Get@15 = %v,%v want v1", e, ok)
+	}
+	if _, ok, _ := tbl.Get([]byte("k"), 5); ok {
+		t.Fatal("Get@5 should see nothing")
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(3000, 3)
+	tbl := buildTable(t, dev, entries, nil)
+	it := tbl.NewIterator()
+	for trial := 0; trial < 25; trial++ {
+		target := entries[(trial*997)%len(entries)].Key
+		it.SeekGE(target)
+		var want *kv.Entry
+		for i := range entries {
+			if bytes.Compare(entries[i].Key, target) >= 0 {
+				want = &entries[i]
+				break
+			}
+		}
+		if want == nil {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%q) should exhaust", target)
+			}
+			continue
+		}
+		if !it.Valid() || !bytes.Equal(it.Entry().Key, want.Key) || it.Entry().Seq != want.Seq {
+			t.Fatalf("SeekGE(%q) got %v want %v", target, it.Entry(), *want)
+		}
+	}
+	it.SeekGE([]byte("zzzzzz"))
+	if it.Valid() {
+		t.Fatal("SeekGE past end should exhaust")
+	}
+}
+
+func TestOutOfOrderAddRejected(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	b := NewBuilder(dev, device.CauseMajor)
+	if err := b.Add(kv.Entry{Key: []byte("b"), Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(kv.Entry{Key: []byte("a"), Seq: 2}); err == nil {
+		t.Fatal("out-of-order add must fail")
+	}
+	b.Abandon()
+}
+
+func TestEmptyTableRejected(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	b := NewBuilder(dev, device.CauseMajor)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("empty Finish must fail")
+	}
+}
+
+func TestReopenFromDevice(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(500, 4)
+	tbl := buildTable(t, dev, entries, nil)
+	re, err := Open(dev, tbl.File(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != tbl.Len() {
+		t.Fatalf("reopened Len = %d want %d", re.Len(), tbl.Len())
+	}
+	e, ok, err := re.Get(entries[0].Key, kv.MaxSeq)
+	if err != nil || !ok {
+		t.Fatalf("reopened Get: %v %v %v", e, ok, err)
+	}
+}
+
+func TestBlockCacheReducesDeviceReads(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(2000, 5)
+	cache := NewBlockCache(64 << 20)
+	tbl := buildTable(t, dev, entries, cache)
+
+	key := entries[100].Key
+	if _, ok, _ := tbl.Get(key, kv.MaxSeq); !ok {
+		t.Fatal("warmup get failed")
+	}
+	before := dev.Stats().ReadOps(device.CauseClientRead)
+	for i := 0; i < 50; i++ {
+		if _, ok, _ := tbl.Get(key, kv.MaxSeq); !ok {
+			t.Fatal("cached get failed")
+		}
+	}
+	after := dev.Stats().ReadOps(device.CauseClientRead)
+	if after != before {
+		t.Fatalf("expected zero device reads on cache hits, got %d", after-before)
+	}
+	if cache.HitRate() == 0 {
+		t.Fatal("cache hit rate should be > 0")
+	}
+}
+
+func TestBlockCacheEvicts(t *testing.T) {
+	cache := NewBlockCache(10_000)
+	for i := 0; i < 100; i++ {
+		cache.put(ssd.FileID(1), int64(i*1000), make([]byte, 1000))
+	}
+	if cache.Used() > 10_000 {
+		t.Fatalf("cache over budget: %d", cache.Used())
+	}
+}
+
+func TestBlockCacheDropFile(t *testing.T) {
+	cache := NewBlockCache(1 << 20)
+	cache.put(ssd.FileID(1), 0, make([]byte, 100))
+	cache.put(ssd.FileID(2), 0, make([]byte, 100))
+	cache.DropFile(ssd.FileID(1))
+	if _, ok := cache.get(ssd.FileID(1), 0); ok {
+		t.Fatal("dropped file still cached")
+	}
+	if _, ok := cache.get(ssd.FileID(2), 0); !ok {
+		t.Fatal("other file evicted")
+	}
+}
+
+func TestCorruptBlockDetected(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := sortedEntries(100, 6)
+	b := NewBuilder(dev, device.CauseMajor)
+	for _, e := range entries {
+		if err := b.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy the table image with one flipped byte in the first data block;
+	// Open succeeds (it only reads metadata) but any read touching the
+	// block must detect the bad checksum.
+	raw := make([]byte, dev.Size(tbl.File()))
+	if err := dev.ReadAt(tbl.File(), 0, raw, device.CauseClientRead); err != nil {
+		t.Fatal(err)
+	}
+	raw[1] ^= 0xFF // inside first data block payload
+	f2 := dev.Create()
+	if _, err := dev.Append(f2, raw, device.CauseMajor); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := Open(dev, f2, nil)
+	if err != nil {
+		t.Fatalf("Open should succeed on metadata: %v", err)
+	}
+	if _, _, err := corrupt.Get(entries[0].Key, kv.MaxSeq); err == nil {
+		t.Fatal("Get through corrupt block must fail")
+	}
+	it := corrupt.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() && it.Err() == nil {
+		t.Fatal("iterator must surface block corruption")
+	}
+}
+
+func TestTombstonesSurviveRoundTrip(t *testing.T) {
+	dev := ssd.New(ssd.FastProfile)
+	entries := []kv.Entry{
+		{Key: []byte("a"), Value: []byte("v"), Seq: 1},
+		{Key: []byte("b"), Seq: 2, Kind: kv.KindDelete},
+	}
+	tbl := buildTable(t, dev, entries, nil)
+	e, ok, _ := tbl.Get([]byte("b"), kv.MaxSeq)
+	if !ok || e.Kind != kv.KindDelete {
+		t.Fatalf("tombstone lost: %v %v", e, ok)
+	}
+}

@@ -1,0 +1,251 @@
+// Package ycsb re-implements the YCSB core workloads (Cooper et al., SoCC
+// 2010) used in Section VI-E: the Load phase plus workloads A–F, with
+// uniform, zipfian and latest request distributions.
+//
+//	A: 50% read / 50% update, zipfian
+//	B: 95% read /  5% update, zipfian
+//	C: 100% read, zipfian
+//	D: 95% read /  5% insert, latest
+//	E: 95% scan /  5% insert, zipfian (scan length ≤ 100)
+//	F: 50% read / 50% read-modify-write, zipfian
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is a workload operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpRMW
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	default:
+		return "rmw"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     []byte
+	Value   []byte
+	ScanLen int
+}
+
+// Workload generates YCSB operations. Not safe for concurrent use; create
+// one per goroutine with distinct seeds.
+type Workload struct {
+	name       string
+	rng        *rand.Rand
+	zipf       *Zipfian
+	latest     bool
+	insertions uint64 // keys inserted so far (records grows during D/E)
+	records    uint64
+	valueSize  int
+
+	readPct, updatePct, insertPct, scanPct, rmwPct int
+	maxScanLen                                     int
+}
+
+// KeyAt formats the canonical YCSB key for index i.
+func KeyAt(i uint64) []byte { return []byte(fmt.Sprintf("user%019d", i)) }
+
+// New creates workload w ("load", "a".."f") over recordCount preloaded keys.
+func New(name string, recordCount uint64, valueSize int, seed int64) (*Workload, error) {
+	w := &Workload{
+		name:      name,
+		rng:       rand.New(rand.NewSource(seed)),
+		records:   recordCount,
+		valueSize: valueSize,
+	}
+	switch name {
+	case "load":
+		w.insertPct = 100
+	case "a":
+		w.readPct, w.updatePct = 50, 50
+	case "b":
+		w.readPct, w.updatePct = 95, 5
+	case "c":
+		w.readPct = 100
+	case "d":
+		w.readPct, w.insertPct = 95, 5
+		w.latest = true
+	case "e":
+		w.scanPct, w.insertPct = 95, 5
+		w.maxScanLen = 100
+	case "f":
+		w.readPct, w.rmwPct = 50, 50
+	default:
+		return nil, fmt.Errorf("ycsb: unknown workload %q", name)
+	}
+	if recordCount > 0 {
+		w.zipf = NewZipfian(recordCount, 0.99, seed+1)
+	}
+	return w, nil
+}
+
+// Name reports the workload name.
+func (w *Workload) Name() string { return w.name }
+
+func (w *Workload) value() []byte {
+	v := make([]byte, w.valueSize)
+	for i := range v {
+		v[i] = byte('a' + w.rng.Intn(26))
+	}
+	return v
+}
+
+// chooseKey picks a key index per the request distribution.
+func (w *Workload) chooseKey() uint64 {
+	n := w.records + w.insertions
+	if n == 0 {
+		return 0
+	}
+	if w.latest {
+		// Latest distribution: zipfian over recency.
+		off := w.zipf.Next(w.rng)
+		if off >= n {
+			off = n - 1
+		}
+		return n - 1 - off
+	}
+	k := w.zipf.Next(w.rng)
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// Next generates the next operation.
+func (w *Workload) Next() Op {
+	r := w.rng.Intn(100)
+	switch {
+	case r < w.readPct:
+		return Op{Kind: OpRead, Key: KeyAt(w.chooseKey())}
+	case r < w.readPct+w.updatePct:
+		return Op{Kind: OpUpdate, Key: KeyAt(w.chooseKey()), Value: w.value()}
+	case r < w.readPct+w.updatePct+w.insertPct:
+		k := w.records + w.insertions
+		w.insertions++
+		return Op{Kind: OpInsert, Key: KeyAt(k), Value: w.value()}
+	case r < w.readPct+w.updatePct+w.insertPct+w.scanPct:
+		return Op{
+			Kind:    OpScan,
+			Key:     KeyAt(w.chooseKey()),
+			ScanLen: 1 + w.rng.Intn(w.maxScanLen),
+		}
+	default:
+		return Op{Kind: OpRMW, Key: KeyAt(w.chooseKey()), Value: w.value()}
+	}
+}
+
+// Zipfian draws integers in [0, n) with the YCSB zipfian distribution
+// (exponent theta, default 0.99), using the Gray et al. rejection-free
+// formula YCSB uses.
+type Zipfian struct {
+	n              uint64
+	theta          float64
+	alpha          float64
+	zetan, zeta2   float64
+	eta            float64
+	rngDefaultSeed int64
+}
+
+// NewZipfian builds a generator over [0, n).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rngDefaultSeed: seed}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	// Exact for small n; sampled approximation keeps large-n setup cheap.
+	if n <= 1_000_000 {
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	for i := uint64(1); i <= 1_000_000; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	// Integral tail approximation.
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(1e6, 1-theta)) / (1 - theta)
+	return sum
+}
+
+// Next draws a value using rng.
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// SkewedChooser draws keys from [0, n) with tunable skew in [0, 1]:
+// 0 = uniform, 1 = extremely concentrated. Used by the Table IV / Figure 8
+// experiments, which sweep "data skew" linearly.
+type SkewedChooser struct {
+	n    uint64
+	skew float64
+	zipf *Zipfian
+	rng  *rand.Rand
+}
+
+// NewSkewedChooser builds a chooser; skew is clamped to [0, 1].
+func NewSkewedChooser(n uint64, skew float64, seed int64) *SkewedChooser {
+	if skew < 0 {
+		skew = 0
+	}
+	if skew > 1 {
+		skew = 1
+	}
+	c := &SkewedChooser{n: n, skew: skew, rng: rand.New(rand.NewSource(seed))}
+	if skew > 0 {
+		// Map skew in (0,1] to a zipf theta in (0.4, 0.99]: skew=1 is the
+		// standard YCSB zipfian constant.
+		c.zipf = NewZipfian(n, 0.4+0.59*skew, seed+1)
+	}
+	return c
+}
+
+// Next draws a key index.
+func (c *SkewedChooser) Next() uint64 {
+	if c.zipf == nil {
+		return uint64(c.rng.Int63n(int64(c.n)))
+	}
+	return c.zipf.Next(c.rng)
+}

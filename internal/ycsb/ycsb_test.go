@@ -1,0 +1,151 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := []struct {
+		name string
+		want map[OpKind]bool // kinds that must appear
+		deny map[OpKind]bool // kinds that must not appear
+	}{
+		{"load", map[OpKind]bool{OpInsert: true}, map[OpKind]bool{OpRead: true, OpScan: true}},
+		{"a", map[OpKind]bool{OpRead: true, OpUpdate: true}, map[OpKind]bool{OpScan: true, OpInsert: true}},
+		{"b", map[OpKind]bool{OpRead: true, OpUpdate: true}, map[OpKind]bool{OpScan: true}},
+		{"c", map[OpKind]bool{OpRead: true}, map[OpKind]bool{OpUpdate: true, OpScan: true, OpInsert: true}},
+		{"d", map[OpKind]bool{OpRead: true, OpInsert: true}, map[OpKind]bool{OpScan: true}},
+		{"e", map[OpKind]bool{OpScan: true, OpInsert: true}, map[OpKind]bool{OpRead: true}},
+		{"f", map[OpKind]bool{OpRead: true, OpRMW: true}, map[OpKind]bool{OpScan: true}},
+	}
+	for _, c := range cases {
+		w, err := New(c.name, 10000, 100, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[OpKind]int{}
+		for i := 0; i < 5000; i++ {
+			op := w.Next()
+			seen[op.Kind]++
+			if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+				t.Fatalf("%s: scan len %d out of range", c.name, op.ScanLen)
+			}
+		}
+		for k := range c.want {
+			if seen[k] == 0 {
+				t.Errorf("workload %s: kind %v never generated", c.name, k)
+			}
+		}
+		for k := range c.deny {
+			if seen[k] != 0 {
+				t.Errorf("workload %s: kind %v should not appear (saw %d)", c.name, k, seen[k])
+			}
+		}
+	}
+}
+
+func TestWorkloadAMixRoughly5050(t *testing.T) {
+	w, _ := New("a", 10000, 100, 7)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("workload A read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := New("z", 100, 10, 1); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestInsertsExtendKeyspace(t *testing.T) {
+	w, _ := New("d", 100, 10, 1)
+	maxKey := ""
+	for i := 0; i < 2000; i++ {
+		op := w.Next()
+		if op.Kind == OpInsert && string(op.Key) > maxKey {
+			maxKey = string(op.Key)
+		}
+	}
+	if maxKey <= string(KeyAt(99)) {
+		t.Fatal("inserts should extend beyond the preloaded keyspace")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000, 0.99, 1)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next(rng)
+		if v >= 10000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Hot key should dominate: key 0 gets far more than uniform share.
+	if counts[0] < n/1000 {
+		t.Fatalf("zipfian head too cold: %d", counts[0])
+	}
+	// Top-100 keys should capture a large fraction.
+	top := 0
+	for k := uint64(0); k < 100; k++ {
+		top += counts[k]
+	}
+	if float64(top)/n < 0.3 {
+		t.Fatalf("top-100 fraction %.3f too low for zipf(0.99)", float64(top)/n)
+	}
+}
+
+func TestSkewedChooserSpectrum(t *testing.T) {
+	concentration := func(skew float64) float64 {
+		c := NewSkewedChooser(10000, skew, 3)
+		counts := map[uint64]int{}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			counts[c.Next()]++
+		}
+		top := 0
+		for k := uint64(0); k < 100; k++ {
+			top += counts[k]
+		}
+		return float64(top) / n
+	}
+	c0 := concentration(0)
+	c5 := concentration(0.5)
+	c10 := concentration(1.0)
+	if !(c0 < c5 && c5 < c10) {
+		t.Fatalf("concentration not monotone in skew: %v %v %v", c0, c5, c10)
+	}
+	if c0 > 0.05 {
+		t.Fatalf("uniform chooser too concentrated: %v", c0)
+	}
+}
+
+func TestLatestDistributionFavorsRecentKeys(t *testing.T) {
+	w, _ := New("d", 10000, 10, 5)
+	recent := 0
+	total := 0
+	for i := 0; i < 5000; i++ {
+		op := w.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		total++
+		if string(op.Key) >= string(KeyAt(9000)) {
+			recent++
+		}
+	}
+	if total == 0 || float64(recent)/float64(total) < 0.5 {
+		t.Fatalf("latest distribution not recency-biased: %d/%d", recent, total)
+	}
+}

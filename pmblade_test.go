@@ -1,0 +1,170 @@
+package pmblade
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func openFast(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicPutGetDelete(t *testing.T) {
+	db := openFast(t)
+	if err := db.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("hello"))
+	if err != nil || !ok || string(v) != "world" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := db.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("hello")); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestPublicScanAndBatch(t *testing.T) {
+	db := openFast(t)
+	var b Batch
+	for i := 0; i < 100; i++ {
+		b.Put([]byte(fmt.Sprintf("k-%03d", i)), []byte(fmt.Sprint(i)))
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Scan([]byte("k-010"), []byte("k-020"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("scan = %d want 10", len(res))
+	}
+	if string(res[0].Key) != "k-010" {
+		t.Fatalf("first key %q", res[0].Key)
+	}
+}
+
+func TestPublicFlushCompactMetrics(t *testing.T) {
+	db := openFast(t)
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%05d", i)), val)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().FlushCount.Load() == 0 {
+		t.Fatal("flush not counted")
+	}
+	wa := db.WriteAmp()
+	if wa.UserBytes == 0 || wa.Total() == 0 {
+		t.Fatalf("write amp empty: %+v", wa)
+	}
+	// Data intact after full compaction.
+	if _, ok, _ := db.Get([]byte("key-00042")); !ok {
+		t.Fatal("data lost")
+	}
+}
+
+func TestTableHelpersRoundTrip(t *testing.T) {
+	db := openFast(t)
+	orders := db.Table(1)
+	if err := orders.InsertRow([]byte("order-1"), []byte("row-data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.AddIndexEntry(1, []byte("PAID"), []byte("order-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.AddIndexEntry(1, []byte("PAID"), []byte("order-2")); err != nil {
+		t.Fatal(err)
+	}
+
+	row, ok, err := orders.GetRow([]byte("order-1"))
+	if err != nil || !ok || string(row) != "row-data" {
+		t.Fatalf("GetRow = %q %v %v", row, ok, err)
+	}
+	pks, err := orders.LookupIndex(1, []byte("PAID"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pks) != 2 || string(pks[0]) != "order-1" || string(pks[1]) != "order-2" {
+		t.Fatalf("LookupIndex = %q", pks)
+	}
+	// Another status must not match.
+	pks, _ = orders.LookupIndex(1, []byte("DONE"), 0)
+	if len(pks) != 0 {
+		t.Fatalf("unexpected matches: %q", pks)
+	}
+	// Index entry removal.
+	orders.RemoveIndexEntry(1, []byte("PAID"), []byte("order-2"))
+	pks, _ = orders.LookupIndex(1, []byte("PAID"), 0)
+	if len(pks) != 1 {
+		t.Fatalf("after removal: %q", pks)
+	}
+}
+
+func TestTablesAreIsolated(t *testing.T) {
+	db := openFast(t)
+	t1, t2 := db.Table(1), db.Table(2)
+	t1.InsertRow([]byte("pk"), []byte("one"))
+	t2.InsertRow([]byte("pk"), []byte("two"))
+	r1, _, _ := t1.GetRow([]byte("pk"))
+	r2, _, _ := t2.GetRow([]byte("pk"))
+	if string(r1) != "one" || string(r2) != "two" {
+		t.Fatalf("cross-table interference: %q %q", r1, r2)
+	}
+	rows, err := t1.ScanRows(0)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("ScanRows = %d %v", len(rows), err)
+	}
+	if string(rows[0].Key) != "pk" || string(rows[0].Value) != "one" {
+		t.Fatalf("ScanRows content: %q=%q", rows[0].Key, rows[0].Value)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	def := DefaultOptions()
+	if def.PMCapacityBytes == 0 || def.MemtableBytes == 0 {
+		t.Fatal("default options incomplete")
+	}
+	cfg := def.resolve()
+	if !cfg.Level0OnPM || !cfg.InternalCompaction || !cfg.CostBased {
+		t.Fatal("default preset must enable all PM-Blade features")
+	}
+}
+
+func TestPublicIterator(t *testing.T) {
+	db := openFast(t)
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("it-%04d", i)), []byte(fmt.Sprint(i)))
+	}
+	it, err := db.NewIterator([]byte("it-0100"), []byte("it-0200"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	for ; it.Valid(); it.Next() {
+		want := fmt.Sprintf("it-%04d", 100+count)
+		if string(it.Key()) != want {
+			t.Fatalf("key %q want %q", it.Key(), want)
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("iterated %d, want 100", count)
+	}
+}
