@@ -12,11 +12,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"pmblade/internal/clock"
 	"pmblade/internal/experiments"
 	"pmblade/internal/pmem"
+	"pmblade/internal/ssd"
 )
 
 // benchScale keeps experiment benchmarks fast enough for -bench=. sweeps.
@@ -84,6 +87,73 @@ func BenchmarkEnginePut(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// parallelBenchDB builds a write-heavy multi-writer configuration: WAL on a
+// realistic NVMe profile (so commit cost is visible and group commit has
+// something to amortize) and four range partitions over the random key space
+// the workload draws from.
+func parallelBenchDB(b *testing.B) *DB {
+	b.Helper()
+	cfg := FastOptions().resolve()
+	cfg.DisableWAL = false
+	cfg.SSDProfile = ssd.NVMeProfile
+	cfg.MemtableBytes = 1 << 20
+	cfg.PartitionBoundaries = [][]byte{
+		[]byte(fmt.Sprintf("key-%012d", int64(100_000_000_000))),
+		[]byte(fmt.Sprintf("key-%012d", int64(200_000_000_000))),
+		[]byte(fmt.Sprintf("key-%012d", int64(300_000_000_000))),
+	}
+	db, err := OpenEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// benchWriters fixes the number of concurrent writer goroutines.
+// RunParallel defaults to GOMAXPROCS workers, which degenerates to a serial
+// loop on small machines; commit concurrency is what these benchmarks
+// measure, so pin it rather than inherit the core count.
+const benchWriters = 16
+
+func BenchmarkEnginePutParallel(b *testing.B) {
+	db := parallelBenchDB(b)
+	var seed atomic.Int64
+	b.SetParallelism((benchWriters + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		val := make([]byte, 256)
+		for pb.Next() {
+			k := []byte(fmt.Sprintf("key-%012d", rng.Int63n(400_000_000_000)))
+			if err := db.Put(k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEngineBatchParallel(b *testing.B) {
+	db := parallelBenchDB(b)
+	var seed atomic.Int64
+	b.SetParallelism((benchWriters + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		val := make([]byte, 256)
+		var batch Batch
+		for pb.Next() {
+			batch.Reset()
+			for j := 0; j < 10; j++ {
+				batch.Put([]byte(fmt.Sprintf("key-%012d", rng.Int63n(400_000_000_000))), val)
+			}
+			if err := db.Apply(&batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkEngineGetMemtable(b *testing.B) {

@@ -12,10 +12,12 @@ import (
 	"pmblade/internal/sstable"
 )
 
-// runCompactionStrategy applies Algorithm 1 after a flush touched p: decide
-// internal compaction per the cost models (or threshold), then check whether
-// level-0 as a whole needs a major compaction. Callers hold maintMu.
-func (db *DB) runCompactionStrategy(p *partition) error {
+// localCompactionStrategy applies the per-partition half of Algorithm 1
+// after a flush touched p: leveled compaction (RocksDB mode), the SSD
+// level-0 threshold, or internal compaction per the cost models. It touches
+// only p, so partitions maintain themselves in parallel. Callers hold
+// p.maint and must NOT hold majorMu.
+func (db *DB) localCompactionStrategy(p *partition) error {
 	switch {
 	case db.cfg.RocksDB:
 		return db.runLeveledCompactions(p)
@@ -31,17 +33,23 @@ func (db *DB) runCompactionStrategy(p *partition) error {
 		if db.cfg.CostBased {
 			st := db.partitionCostState(p)
 			if ok, _ := db.cfg.Cost.ShouldInternalCompact(st); ok {
-				if err := db.internalCompact(p); err != nil {
-					return err
-				}
+				return db.internalCompact(p)
 			}
 		} else if p.l0.UnsortedCount() >= db.cfg.L0TriggerTables {
-			if err := db.internalCompact(p); err != nil {
-				return err
-			}
+			return db.internalCompact(p)
 		}
 	}
+	return nil
+}
 
+// globalCompactionCheck applies the cross-partition half of Algorithm 1:
+// the cost-based eviction trigger (τ_m) or the conventional global-wipe
+// threshold. Callers must hold NO maintenance locks — the helpers below
+// acquire majorMu and then each victim's maint in partition order.
+func (db *DB) globalCompactionCheck() error {
+	if db.cfg.RocksDB || !db.cfg.Level0OnPM {
+		return nil
+	}
 	if db.cfg.CostBased {
 		if db.cfg.Cost.NeedMajor(db.pm.Used()) {
 			return db.majorCompactEvict()
@@ -52,6 +60,8 @@ func (db *DB) runCompactionStrategy(p *partition) error {
 	// the threshold, the whole level-0 will be compacted to level-1" — a
 	// global wipe, which is exactly why the conventional strategy fails to
 	// retain warm data in PM (Figure 8(b)).
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
 	total := 0
 	for _, q := range db.partitions {
 		if q.l0 != nil {
@@ -63,7 +73,10 @@ func (db *DB) runCompactionStrategy(p *partition) error {
 			if q.l0 == nil {
 				continue
 			}
-			if err := db.majorCompactPartition(q); err != nil {
+			q.maint.Lock()
+			err := db.majorCompactPartition(q)
+			q.maint.Unlock()
+			if err != nil {
 				return err
 			}
 		}
@@ -105,7 +118,7 @@ func resetPartitionStats(p *partition) {
 // internalCompact runs an internal compaction for p. Tombstones survive
 // whenever the partition has data on SSD. If PM lacks the transient space
 // the compaction needs, the partition is major-compacted instead (which
-// frees PM rather than consuming it).
+// frees PM rather than consuming it). Callers hold p.maint.
 func (db *DB) internalCompact(p *partition) error {
 	keepTombstones := p.run.Len() > 0
 	_, err := p.l0.CompactInternal(keepTombstones)
@@ -122,8 +135,13 @@ func (db *DB) internalCompact(p *partition) error {
 
 // majorCompactEvict performs the cost-based major compaction: Eq. 3 selects
 // the partition set Φ to preserve; every other partition's level-0 is
-// compacted to SSD and evicted from PM.
+// compacted to SSD and evicted from PM. It is the one decision that spans
+// partitions, so it holds the coarse majorMu for the knapsack and then each
+// victim's maint lock (in partition order) while compacting it — partitions
+// in Φ keep flushing unimpeded. Callers must hold no maint lock.
 func (db *DB) majorCompactEvict() error {
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
 	states := make([]costmodel.PartitionState, 0, len(db.partitions))
 	for _, p := range db.partitions {
 		if p.l0 != nil {
@@ -135,22 +153,21 @@ func (db *DB) majorCompactEvict() error {
 		if p.l0 == nil || preserved[p.id] {
 			continue
 		}
-		if err := db.majorCompactPartition(p); err != nil {
+		p.maint.Lock()
+		err := db.majorCompactPartition(p)
+		p.maint.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// majorCompactForSpace is the write-stall path: PM is out of space, so evict
-// per Eq. 3 regardless of τ_m.
-func (db *DB) majorCompactForSpace() error {
-	return db.majorCompactEvict()
-}
-
 // majorCompactPartition compacts p's entire PM level-0 together with the
 // overlapping SSD run tables into a new run, using the coroutine pool with
-// range-split subtasks, then evicts level-0 from PM.
+// range-split subtasks, then evicts level-0 from PM. Callers hold p.maint —
+// required, since Evict drops every level-0 table and must not race a
+// concurrent flush installing one.
 func (db *DB) majorCompactPartition(p *partition) error {
 	unsorted, sorted := p.l0.Tables()
 	if len(unsorted)+len(sorted) == 0 {
@@ -436,13 +453,14 @@ func (db *DB) CompactNow() error {
 // InternalCompactAll forces an internal compaction on every partition
 // regardless of the cost models (Table IV triggers compaction manually).
 func (db *DB) InternalCompactAll() error {
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
 	for _, p := range db.partitions {
 		if p.l0 == nil {
 			continue
 		}
-		if err := db.internalCompact(p); err != nil {
+		p.maint.Lock()
+		err := db.internalCompact(p)
+		p.maint.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -451,22 +469,22 @@ func (db *DB) InternalCompactAll() error {
 
 // MajorCompactAll forces a major compaction of every partition's level-0.
 func (db *DB) MajorCompactAll() error {
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
 	for _, p := range db.partitions {
+		p.maint.Lock()
+		var err error
 		switch {
 		case p.l0 != nil:
-			if err := db.majorCompactPartition(p); err != nil {
-				return err
-			}
+			err = db.majorCompactPartition(p)
 		case p.leveled != nil:
-			if err := db.runLeveledCompactions(p); err != nil {
-				return err
-			}
+			err = db.runLeveledCompactions(p)
 		default:
-			if err := db.majorCompactSSDPartition(p); err != nil {
-				return err
-			}
+			err = db.majorCompactSSDPartition(p)
+		}
+		p.maint.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	return nil

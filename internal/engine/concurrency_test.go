@@ -191,9 +191,9 @@ func TestPartitionStatsLifecycle(t *testing.T) {
 			p.writes.Load(), p.updates.Load(), p.reads.Load())
 	}
 	db.FlushAll()
-	db.maintMu.Lock()
+	p.maint.Lock()
 	err = db.majorCompactPartition(p)
-	db.maintMu.Unlock()
+	p.maint.Unlock()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 package engine
 
 import (
+	"time"
+
 	"pmblade/internal/costmodel"
 	"pmblade/internal/pmem"
 	"pmblade/internal/pmtable"
@@ -80,6 +82,23 @@ type Config struct {
 	DisableWAL bool
 	// BlockCacheBytes sizes the shared SSD block cache; 0 disables it.
 	BlockCacheBytes int64
+
+	// WALBatchBytes caps how many payload bytes the group committer
+	// coalesces into one WAL append+sync.
+	WALBatchBytes int64
+	// WALBatchDelay is how long the committer lingers for more writers
+	// after the first request of a group commit; 0 commits whatever is
+	// already queued without waiting (lowest latency).
+	WALBatchDelay time.Duration
+	// MaxImmutables is the per-partition backpressure threshold: a writer
+	// stalls while its partition holds this many unflushed immutable
+	// memtables, giving the background flushers time to catch up.
+	MaxImmutables int
+	// SyncFlush flushes a rotated memtable inline in the writing goroutine
+	// instead of handing it to the background workers. Deterministic but
+	// slower; the experiments use it so the timing-sensitive cost-model
+	// decisions (Eq. 1-3) do not depend on goroutine scheduling.
+	SyncFlush bool
 }
 
 // mode returns a short name for logs.
@@ -128,6 +147,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.L1TargetBytes == 0 {
 		c.L1TargetBytes = 64 << 20
+	}
+	if c.WALBatchBytes == 0 {
+		c.WALBatchBytes = 1 << 20
+	}
+	if c.MaxImmutables == 0 {
+		c.MaxImmutables = 4
 	}
 	if c.Cost == (costmodel.Params{}) {
 		c.Cost = DefaultCostParams(c.PMCapacity, len(c.PartitionBoundaries)+1)

@@ -37,12 +37,37 @@ type DB struct {
 	wal   *wal.Writer
 	walMu sync.Mutex
 
+	// Group commit: writers enqueue requests on commitC and a dedicated
+	// committer goroutine coalesces them into one WAL append+sync.
+	// commitDone closes when the committer exits.
+	commitC    chan *commitReq
+	commitDone chan struct{}
+
+	// opGate is read-held by every write for its full duration; Close
+	// write-locks it to wait out in-flight writers before stopping the
+	// committer.
+	opGate sync.RWMutex
+
 	partitions []*partition
 
-	// maintMu serializes structural maintenance (flush/compaction
-	// scheduling); reads never take it.
-	maintMu sync.Mutex
+	// majorMu serializes cross-partition major compaction: the knapsack of
+	// Eq. 3 (SelectPreserved) reasons about all partitions at once, so only
+	// one such decision may be in flight. Per-partition maintenance
+	// (flush, internal compaction) uses partition.maint instead. Lock order:
+	// majorMu before any partition.maint; never acquire majorMu while
+	// holding a maint lock.
+	majorMu sync.Mutex
 	closed  atomic.Bool
+
+	// bgErr records the first background-flush failure; once set, writes
+	// return it (the pipeline is considered wedged).
+	bgErr atomic.Pointer[error]
+
+	// flushes counts scheduled-but-unfinished background flush tasks;
+	// flushesCv signals when it reaches zero (drainFlushes).
+	flushesMu sync.Mutex
+	flushes   int
+	flushesCv *sync.Cond
 }
 
 // partition is one range partition's LSM column.
@@ -56,6 +81,14 @@ type partition struct {
 	mu  sync.RWMutex
 	mem *memtable.Memtable
 	imm []*memtable.Memtable // newest first
+
+	// maint serializes this partition's structural maintenance (flush,
+	// internal compaction, major compaction of this partition) without
+	// blocking other partitions. See DB.majorMu for the lock order.
+	maint sync.Mutex
+	// flushPending is true while a background flush task is queued or has
+	// not yet taken maint; it prevents piling up duplicate tasks.
+	flushPending atomic.Bool
 
 	l0    *level0.Level0   // PM level-0 (Level0OnPM)
 	l0ssd []*sstable.Table // SSD level-0, newest first (PMBlade-SSD)
@@ -148,18 +181,76 @@ func Open(cfg Config) (*DB, error) {
 		p.statsSince.Store(time.Now().UnixNano())
 		db.partitions = append(db.partitions, p)
 	}
+	db.startPipeline()
 	return db, nil
 }
 
-// Close releases the engine. Outstanding operations must have completed.
+// startPipeline initializes the asynchronous write machinery: flush-drain
+// bookkeeping and (with a WAL) the group committer. Called once partitions
+// and the WAL exist.
+func (db *DB) startPipeline() {
+	db.flushesCv = sync.NewCond(&db.flushesMu)
+	if db.wal != nil {
+		db.commitC = make(chan *commitReq, 256)
+		db.commitDone = make(chan struct{})
+		go db.committer()
+	}
+}
+
+// Close drains the write pipeline and releases the engine: in-flight writers
+// finish, the group committer commits its backlog and exits, background
+// flushes run to completion.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return ErrClosed
 	}
+	// Wait for in-flight writers to leave the commit path; afterwards no
+	// goroutine can send on commitC, so closing it is safe.
+	db.opGate.Lock()
+	db.opGate.Unlock() //nolint:staticcheck // gate barrier, not a critical section
+	if db.commitC != nil {
+		close(db.commitC)
+		<-db.commitDone
+	}
+	db.drainFlushes()
+	db.pool.CloseBackground()
 	if db.wal != nil {
 		db.wal.Close()
 	}
 	return nil
+}
+
+// setBgErr records the first background failure; backpressured writers poll
+// it between flush-help rounds and return it.
+func (db *DB) setBgErr(err error) {
+	db.bgErr.CompareAndSwap(nil, &err)
+}
+
+// loadBgErr returns the sticky background error, if any.
+func (db *DB) loadBgErr() error {
+	if e := db.bgErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// drainFlushes blocks until no background flush task is queued or running.
+func (db *DB) drainFlushes() {
+	db.flushesMu.Lock()
+	for db.flushes > 0 {
+		db.flushesCv.Wait()
+	}
+	db.flushesMu.Unlock()
+}
+
+// flushDone marks one background flush task finished.
+func (db *DB) flushDone() {
+	db.flushesMu.Lock()
+	db.flushes--
+	if db.flushes == 0 {
+		db.flushesCv.Broadcast()
+	}
+	db.flushesMu.Unlock()
 }
 
 // Metrics exposes engine metrics.

@@ -47,11 +47,24 @@ type Metrics struct {
 	FlushCount    atomic.Int64
 	InternalCount atomic.Int64
 	MajorCount    atomic.Int64
-	// WriteStallNanos accrues time writers spent blocked on compaction debt.
+	// WriteStallNanos accrues time writers spent blocked on compaction debt
+	// (backpressure stalls and PM-exhaustion evictions).
 	WriteStallNanos atomic.Int64
 	// L0TablesProbed accrues the PM tables touched per read (read
 	// amplification, Figure 7a).
 	L0TablesProbed atomic.Int64
+
+	// WALCommitCount / WALCommitBatches / WALCommitEntries describe group
+	// commit: WALCommitBatches/WALCommitCount is the mean writers coalesced
+	// per WAL sync, WALCommitEntries the total entries logged.
+	WALCommitCount   atomic.Int64
+	WALCommitBatches atomic.Int64
+	WALCommitEntries atomic.Int64
+
+	// FilterHits / FilterSkips count level-0 fence/Bloom outcomes: a skip is
+	// a table pruned without probing, a hit is a table the filter admitted.
+	FilterHits  atomic.Int64
+	FilterSkips atomic.Int64
 }
 
 func newMetrics() *Metrics {

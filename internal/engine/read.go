@@ -47,8 +47,10 @@ func (db *DB) get(key []byte, seq uint64) (kv.Entry, bool, Tier, error) {
 
 	// 2. Level-0.
 	if p.l0 != nil {
-		e, ok, probed := p.l0.Get(key, seq)
-		db.metrics.L0TablesProbed.Add(int64(probed))
+		e, ok, stats := p.l0.Get(key, seq)
+		db.metrics.L0TablesProbed.Add(int64(stats.Probed))
+		db.metrics.FilterHits.Add(int64(stats.FilterHits))
+		db.metrics.FilterSkips.Add(int64(stats.FilterSkips))
 		if ok {
 			return e, true, TierPM, nil
 		}

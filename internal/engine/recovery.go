@@ -37,8 +37,26 @@ type PartManifest struct {
 	Levels     [][]uint64 `json:"levels"`      // RocksDB mode: runs per level
 }
 
-// buildManifest snapshots the current structure. Callers hold maintMu so the
-// snapshot is consistent.
+// lockAll acquires every maintenance lock (majorMu, then each partition's
+// maint in partition order) so the table sets cannot change under a
+// manifest snapshot.
+func (db *DB) lockAll() {
+	db.majorMu.Lock()
+	for _, p := range db.partitions {
+		p.maint.Lock()
+	}
+}
+
+// unlockAll releases what lockAll acquired.
+func (db *DB) unlockAll() {
+	for i := len(db.partitions) - 1; i >= 0; i-- {
+		db.partitions[i].maint.Unlock()
+	}
+	db.majorMu.Unlock()
+}
+
+// buildManifest snapshots the current structure. Callers hold every
+// maintenance lock (lockAll) so the snapshot is consistent.
 func (db *DB) buildManifest() Manifest {
 	m := Manifest{Seq: db.seq.Load()}
 	if db.wal != nil {
@@ -84,8 +102,9 @@ func (db *DB) buildManifest() Manifest {
 // SaveManifest persists the current structure to a fresh SSD file and
 // returns its id. The previous manifest file, if any, is replaced.
 func (db *DB) SaveManifest() (ssd.FileID, error) {
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
+	db.drainFlushes()
+	db.lockAll()
+	defer db.unlockAll()
 	return db.saveManifestLocked()
 }
 
@@ -105,24 +124,32 @@ func (db *DB) saveManifestLocked() (ssd.FileID, error) {
 	return f, nil
 }
 
-// Checkpoint makes the current state durable and bounds recovery work:
-// every memtable is flushed to level-0, the WAL is rotated to a fresh file,
-// the manifest (now covering everything) is persisted, and only then is the
-// old log deleted. Recovery from the returned manifest replays an empty log.
+// Checkpoint makes the current state durable and bounds recovery work. The
+// WAL is rotated first, behind the write gate, so every entry in the old log
+// is already in a memtable; FlushAll then pushes those memtables to level-0;
+// the manifest (now covering everything the old log held) is persisted; only
+// then is the old log deleted. Recovery from the returned manifest replays
+// at most the writes that arrived after the rotation.
 func (db *DB) Checkpoint() (ssd.FileID, error) {
+	var old *wal.Writer
+	if db.wal != nil {
+		// The write gate waits out writers that committed to the old log but
+		// have not yet reached their memtable; after it, memtables cover the
+		// old log completely.
+		db.opGate.Lock()
+		db.walMu.Lock()
+		old = db.wal
+		db.wal = wal.NewWriter(db.ssd)
+		db.walMu.Unlock()
+		db.opGate.Unlock()
+	}
 	if err := db.FlushAll(); err != nil {
 		return 0, err
 	}
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
-	var old *wal.Writer
-	if db.wal != nil {
-		old = db.wal
-		db.walMu.Lock()
-		db.wal = wal.NewWriter(db.ssd)
-		db.walMu.Unlock()
-	}
+	db.drainFlushes()
+	db.lockAll()
 	mf, err := db.saveManifestLocked()
+	db.unlockAll()
 	if err != nil {
 		return 0, err
 	}
@@ -264,5 +291,6 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 	} else if !cfg.DisableWAL {
 		db.wal = wal.NewWriter(sd)
 	}
+	db.startPipeline()
 	return db, nil
 }

@@ -8,6 +8,7 @@ import (
 	"pmblade/internal/memtable"
 	"pmblade/internal/pmem"
 	"pmblade/internal/pmtable"
+	"pmblade/internal/sched"
 	"pmblade/internal/sstable"
 )
 
@@ -21,8 +22,8 @@ func (db *DB) Delete(key []byte) error {
 	return db.apply(kv.Entry{Key: key, Kind: kv.KindDelete})
 }
 
-// Batch applies a group of entries atomically with respect to the WAL
-// (one group commit).
+// Batch applies a group of entries atomically with respect to the WAL:
+// the whole batch shares one log record, so recovery sees all of it or none.
 type Batch struct {
 	entries []kv.Entry
 }
@@ -52,65 +53,67 @@ func (b *Batch) Reset() { b.entries = b.entries[:0] }
 
 // Apply commits the batch.
 func (db *DB) Apply(b *Batch) error {
-	if db.closed.Load() {
-		return ErrClosed
-	}
 	if len(b.entries) == 0 {
 		return nil
 	}
+	db.opGate.RLock()
+	defer db.opGate.RUnlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.loadBgErr(); err != nil {
+		return err
+	}
 	start := time.Now()
-	for i := range b.entries {
-		b.entries[i].Seq = db.seq.Add(1)
+	if err := db.commit(b.entries); err != nil {
+		return err
 	}
-	if db.wal != nil {
-		db.walMu.Lock()
-		err := db.wal.Append(b.entries...)
-		db.walMu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
+	// Apply every memtable insert before any flush check, so a maintenance
+	// error can never leave the batch half-accounted: by the time flush
+	// scheduling runs, all entries are readable.
 	touched := map[*partition]bool{}
 	for i := range b.entries {
 		e := b.entries[i]
 		p := db.route(e.Key)
 		db.noteWrite(p, e)
-		p.mu.Lock()
+		p.mu.RLock()
 		p.mem.Add(e)
-		p.mu.Unlock()
+		p.mu.RUnlock()
 		touched[p] = true
 	}
+	var firstErr error
 	for p := range touched {
-		if err := db.maybeFlush(p); err != nil {
-			return err
+		if err := db.maybeFlush(p); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	db.metrics.WriteLatency.Record(time.Since(start))
-	return nil
+	return firstErr
 }
 
 // apply commits a single entry.
 func (db *DB) apply(e kv.Entry) error {
+	db.opGate.RLock()
+	defer db.opGate.RUnlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.loadBgErr(); err != nil {
+		return err
+	}
 	start := time.Now()
-	e.Seq = db.seq.Add(1)
 	e.Key = append([]byte(nil), e.Key...)
 	e.Value = append([]byte(nil), e.Value...)
-	if db.wal != nil {
-		db.walMu.Lock()
-		err := db.wal.Append(e)
-		db.walMu.Unlock()
-		if err != nil {
-			return err
-		}
+	one := [1]kv.Entry{e}
+	if err := db.commit(one[:]); err != nil {
+		return err
 	}
+	e = one[0]
 	p := db.route(e.Key)
 	db.noteWrite(p, e)
-	p.mu.Lock()
+	p.mu.RLock()
 	p.mem.Add(e)
-	p.mu.Unlock()
+	p.mu.RUnlock()
 	if err := db.maybeFlush(p); err != nil {
 		return err
 	}
@@ -131,40 +134,116 @@ func (db *DB) noteWrite(p *partition, e kv.Entry) {
 	}
 }
 
-// maybeFlush rotates and flushes the partition's memtable when it exceeds
-// the budget, then lets the compaction strategy react (Algorithm 1).
+// maybeFlush is the foreground half of flushing (Section IV-D, stage 3→4
+// boundary): when the memtable exceeds its budget it is rotated into the
+// immutable list and a background flush task is scheduled. Backpressure: if
+// the partition has accumulated MaxImmutables unflushed memtables the writer
+// stops accepting new writes and joins the flush effort until the backlog is
+// below the threshold again, with the stall time recorded in Metrics.
 func (db *DB) maybeFlush(p *partition) error {
 	p.mu.RLock()
 	oversize := p.mem.ApproximateSize() >= db.cfg.MemtableBytes
+	stalled := len(p.imm) >= db.cfg.MaxImmutables
 	p.mu.RUnlock()
-	if !oversize {
-		return nil
-	}
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
-	// Re-check under the maintenance lock: a concurrent writer may have
-	// flushed already.
-	p.mu.Lock()
-	if p.mem.ApproximateSize() < db.cfg.MemtableBytes {
+	if oversize {
+		p.mu.Lock()
+		if p.mem.ApproximateSize() >= db.cfg.MemtableBytes {
+			p.imm = append([]*memtable.Memtable{p.mem}, p.imm...)
+			p.mem = memtable.New()
+			stalled = len(p.imm) >= db.cfg.MaxImmutables
+		}
 		p.mu.Unlock()
-		return nil
+		if db.cfg.SyncFlush {
+			if err := db.flushAndMaintain(p); err != nil {
+				return err
+			}
+			return db.globalCompactionCheck()
+		}
+		db.scheduleFlush(p)
 	}
-	imm := p.mem
-	p.mem = memtable.New()
-	p.imm = append([]*memtable.Memtable{imm}, p.imm...)
-	p.mu.Unlock()
-
-	if err := db.flushImmutables(p); err != nil {
-		return err
+	if stalled {
+		stall := time.Now()
+		for db.loadBgErr() == nil && !db.closed.Load() {
+			p.mu.RLock()
+			deep := len(p.imm) >= db.cfg.MaxImmutables
+			p.mu.RUnlock()
+			if !deep {
+				break
+			}
+			// Lend this writer's CPU to the flushers instead of parking it:
+			// on machines with few cores the background workers may not be
+			// scheduled often enough to keep pace with a hot write loop, and
+			// a parked writer would leave the backlog to drain at whatever
+			// rate the scheduler grants. flushAndMaintain serializes on
+			// p.maint with the background task, so the two never double-flush.
+			if err := db.flushAndMaintain(p); err != nil {
+				db.setBgErr(err)
+				break
+			}
+		}
+		db.metrics.WriteStallNanos.Add(int64(time.Since(stall)))
 	}
-	return db.runCompactionStrategy(p)
+	return db.loadBgErr()
 }
 
-// FlushAll force-flushes every partition's memtable (test and shutdown
-// support) and runs the compaction strategy afterwards.
+// scheduleFlush hands p to the background flush workers, at most one task in
+// flight per partition.
+func (db *DB) scheduleFlush(p *partition) {
+	if !p.flushPending.CompareAndSwap(false, true) {
+		return
+	}
+	db.flushesMu.Lock()
+	db.flushes++
+	db.flushesMu.Unlock()
+	if !db.pool.Submit(func(*sched.Ctx) { db.maintainPartition(p) }) {
+		// Pool already closed (shutdown); FlushAll or Close will drain imm.
+		p.flushPending.Store(false)
+		db.flushDone()
+	}
+}
+
+// maintainPartition is the background flush task: flush p's immutables and
+// run the local compaction strategy, then check the global (cross-partition)
+// triggers. Failures park in bgErr and wake stalled writers.
+func (db *DB) maintainPartition(p *partition) {
+	defer db.flushDone()
+	p.flushPending.Store(false)
+	if err := db.flushAndMaintain(p); err != nil {
+		db.setBgErr(err)
+		return
+	}
+	if err := db.globalCompactionCheck(); err != nil {
+		db.setBgErr(err)
+	}
+}
+
+// flushAndMaintain flushes p's immutables and runs the local strategy under
+// p.maint. When PM runs out of space it releases the lock, evicts per Eq. 3
+// (which takes majorMu and other partitions' maint locks — never while this
+// partition's is held), and retries once; the eviction time is charged to
+// the write-stall metric.
+func (db *DB) flushAndMaintain(p *partition) error {
+	for attempt := 0; ; attempt++ {
+		p.maint.Lock()
+		err := db.flushImmutables(p)
+		if err == nil {
+			err = db.localCompactionStrategy(p)
+		}
+		p.maint.Unlock()
+		if err != pmem.ErrOutOfSpace || attempt > 0 {
+			return err
+		}
+		stall := time.Now()
+		if err := db.majorCompactEvict(); err != nil {
+			return err
+		}
+		db.metrics.WriteStallNanos.Add(int64(time.Since(stall)))
+	}
+}
+
+// FlushAll force-flushes every partition's memtable synchronously (tests,
+// checkpoint, and shutdown support) and runs the compaction strategy.
 func (db *DB) FlushAll() error {
-	db.maintMu.Lock()
-	defer db.maintMu.Unlock()
 	for _, p := range db.partitions {
 		p.mu.Lock()
 		if !p.mem.Empty() {
@@ -172,79 +251,72 @@ func (db *DB) FlushAll() error {
 			p.mem = memtable.New()
 		}
 		p.mu.Unlock()
-		if err := db.flushImmutables(p); err != nil {
-			return err
-		}
-		if err := db.runCompactionStrategy(p); err != nil {
+	}
+	for _, p := range db.partitions {
+		if err := db.flushAndMaintain(p); err != nil {
 			return err
 		}
 	}
-	return nil
+	return db.globalCompactionCheck()
 }
 
-// flushImmutables performs minor compactions: every immutable memtable of p
-// becomes a level-0 table (PM table, or SSTable in the SSD-level-0 modes).
-// Immutables flush oldest-first so level-0 recency order is preserved.
+// flushImmutables performs minor compactions for p, oldest immutable first
+// so level-0 recency order is preserved. Each immutable stays visible to
+// readers until its level-0 table is installed — the tier snapshot order in
+// the read path makes the transient duplicate harmless. Callers hold p.maint.
 func (db *DB) flushImmutables(p *partition) error {
-	p.mu.Lock()
-	imms := p.imm
-	p.imm = nil
-	p.mu.Unlock()
-	for i := len(imms) - 1; i >= 0; i-- {
-		if err := db.flushOne(p, imms[i]); err != nil {
+	for {
+		var m *memtable.Memtable
+		p.mu.RLock()
+		if n := len(p.imm); n > 0 {
+			m = p.imm[n-1] // oldest
+		}
+		p.mu.RUnlock()
+		if m == nil {
+			return nil
+		}
+		if err := db.flushOne(p, m); err != nil {
 			return err
 		}
+		p.mu.Lock()
+		if n := len(p.imm); n > 0 && p.imm[n-1] == m {
+			p.imm = p.imm[:n-1]
+		}
+		p.mu.Unlock()
 	}
-	return nil
 }
 
 // flushOne writes one immutable memtable to level-0. Shadowed versions are
 // dropped at flush (as RocksDB does absent snapshots): only the newest
-// version of each key leaves DRAM.
+// version of each key leaves DRAM. pmem.ErrOutOfSpace propagates to the
+// caller, which evicts and retries.
 func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
 	if m.Empty() {
 		return nil
 	}
 	entries := collectEntries(kv.NewDedupIterator(m.NewIterator(), false))
-	db.metrics.FlushCount.Add(1)
 	switch {
 	case p.l0 != nil: // PM level-0
 		res, err := pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
-		if err == nil {
-			p.l0.AddUnsorted(res.Table)
-			return nil
-		}
-		if err != pmem.ErrOutOfSpace {
-			return err
-		}
-		// PM is full: force a major compaction to make room, then retry
-		// once. This is the write-stall path; its cost lands on the writer.
-		stall := time.Now()
-		if err := db.majorCompactForSpace(); err != nil {
-			return err
-		}
-		db.metrics.WriteStallNanos.Add(int64(time.Since(stall)))
-		res, err = pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
 		if err != nil {
 			return err
 		}
 		p.l0.AddUnsorted(res.Table)
-		return nil
 	case p.leveled != nil: // RocksDB mode
 		t, err := buildSSTable(db, entries, device.CauseFlush)
 		if err != nil {
 			return err
 		}
 		p.leveled.AddL0(t)
-		return nil
 	default: // PMBlade-SSD: SSTable level-0
 		t, err := buildSSTable(db, entries, device.CauseFlush)
 		if err != nil {
 			return err
 		}
 		p.addL0SSD(t)
-		return nil
 	}
+	db.metrics.FlushCount.Add(1)
+	return nil
 }
 
 // buildSSTable writes entries (sorted) as one SSTable.

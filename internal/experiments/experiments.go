@@ -110,6 +110,11 @@ func SystemConfig(name string, p EngineParams) engine.Config {
 		SchedMode:     sched.ModeThread,
 		Workers:       2,
 		QMax:          8,
+		// Experiments compare structural strategies (where data lives, when
+		// it compacts), so flush synchronously: the async pipeline's
+		// scheduling jitter would make the timing-sensitive cost-model
+		// decisions (Eq. 1-3) run-dependent.
+		SyncFlush: true,
 	}
 	switch name {
 	case SysPMBlade:

@@ -105,18 +105,38 @@ func (l *Level0) snapshot() (unsorted, sorted []*pmtable.Table) {
 		append([]*pmtable.Table(nil), l.sorted...)
 }
 
+// GetStats describes the work one Get performed against level-0.
+type GetStats struct {
+	// Probed counts PM tables actually searched — the read-amplification
+	// signal Figure 7(a) measures.
+	Probed int
+	// FilterSkips counts tables pruned by fence keys or their Bloom filter
+	// without touching entry data.
+	FilterSkips int
+	// FilterHits counts tables whose filter admitted the key (and were
+	// therefore probed).
+	FilterHits int
+}
+
 // Get searches the newest-first unsorted tables, then the sorted run. It
 // returns the newest version visible at seq, honoring tombstones (the caller
-// interprets Kind). tablesProbed reports how many PM tables were touched —
-// the read-amplification signal Figure 7(a) measures.
-func (l *Level0) Get(key []byte, seq uint64) (e kv.Entry, ok bool, tablesProbed int) {
+// interprets Kind).
+func (l *Level0) Get(key []byte, seq uint64) (e kv.Entry, ok bool, stats GetStats) {
 	unsorted, sorted := l.snapshot()
 	// Unsorted tables must all be consulted newest-first: any of them may
-	// hold a newer version (this is level-0 read amplification).
+	// hold a newer version (this is level-0 read amplification). Fence keys
+	// and the per-table Bloom filter prune tables that cannot hold the key
+	// before paying for a PM probe.
 	var best kv.Entry
 	found := false
 	for _, t := range unsorted {
-		tablesProbed++
+		if bytes.Compare(key, t.Smallest()) < 0 || bytes.Compare(key, t.Largest()) > 0 ||
+			!t.MayContain(key) {
+			stats.FilterSkips++
+			continue
+		}
+		stats.Probed++
+		stats.FilterHits++
 		if cand, hit := t.Get(key, seq); hit {
 			if !found || cand.Seq > best.Seq {
 				best, found = cand, true
@@ -124,19 +144,24 @@ func (l *Level0) Get(key []byte, seq uint64) (e kv.Entry, ok bool, tablesProbed 
 		}
 	}
 	if found {
-		return best, true, tablesProbed
+		return best, true, stats
 	}
 	// Sorted run: at most one table overlaps the key.
 	for _, t := range sorted {
 		if bytes.Compare(key, t.Smallest()) >= 0 && bytes.Compare(key, t.Largest()) <= 0 {
-			tablesProbed++
+			if !t.MayContain(key) {
+				stats.FilterSkips++
+				break
+			}
+			stats.Probed++
+			stats.FilterHits++
 			if cand, hit := t.Get(key, seq); hit {
-				return cand, true, tablesProbed
+				return cand, true, stats
 			}
 			break
 		}
 	}
-	return kv.Entry{}, false, tablesProbed
+	return kv.Entry{}, false, stats
 }
 
 // Iterators returns iterators over every table (unsorted newest first, then

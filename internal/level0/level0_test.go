@@ -37,12 +37,33 @@ func TestGetSearchesAllUnsortedTables(t *testing.T) {
 	flushBatch(t, l, dev, []kv.Entry{{Key: []byte("k"), Value: []byte("v2"), Seq: 2}})
 	flushBatch(t, l, dev, []kv.Entry{{Key: []byte("x"), Value: []byte("other"), Seq: 3}})
 
-	e, ok, probed := l.Get([]byte("k"), kv.MaxSeq)
+	e, ok, stats := l.Get([]byte("k"), kv.MaxSeq)
 	if !ok || string(e.Value) != "v2" {
 		t.Fatalf("Get = %v,%v want v2", e, ok)
 	}
-	if probed != 3 {
-		t.Fatalf("probed %d tables, want all 3 (read amplification)", probed)
+	// Both tables holding "k" are probed; the table holding only "x" is
+	// pruned by its fence keys without a PM access.
+	if stats.Probed != 2 {
+		t.Fatalf("probed %d tables, want 2 (read amplification)", stats.Probed)
+	}
+	if stats.FilterSkips != 1 {
+		t.Fatalf("filter skips = %d, want 1 (the x-only table)", stats.FilterSkips)
+	}
+}
+
+func TestGetFilterSkipsAbsentKey(t *testing.T) {
+	l, dev := newL0(t)
+	flushBatch(t, l, dev, []kv.Entry{
+		{Key: []byte("a"), Value: []byte("va"), Seq: 1},
+		{Key: []byte("z"), Value: []byte("vz"), Seq: 2},
+	})
+	// "m" is inside the fence range, so only the Bloom filter can prune it.
+	_, ok, stats := l.Get([]byte("m"), kv.MaxSeq)
+	if ok {
+		t.Fatal("absent key found")
+	}
+	if stats.Probed != 0 || stats.FilterSkips != 1 {
+		t.Fatalf("stats = %+v, want bloom filter to prune the probe", stats)
 	}
 }
 
@@ -74,8 +95,8 @@ func TestInternalCompactionReducesProbes(t *testing.T) {
 	if !ok || string(e.Value) != "v7-25" {
 		t.Fatalf("lost newest version: %v %v", e, ok)
 	}
-	if after >= before {
-		t.Fatalf("probes should drop: before=%d after=%d", before, after)
+	if after.Probed >= before.Probed {
+		t.Fatalf("probes should drop: before=%d after=%d", before.Probed, after.Probed)
 	}
 	if stats.EntriesIn != 400 || stats.EntriesOut != 50 {
 		t.Fatalf("stats = %+v, want 400 in 50 out", stats)
@@ -146,12 +167,12 @@ func TestCompactionSplitsIntoTargetSizedTables(t *testing.T) {
 	// Every key still readable with exactly one probe.
 	for j := 0; j < 2000; j += 97 {
 		k := []byte(fmt.Sprintf("key-%05d", j))
-		e, ok, probed := l.Get(k, kv.MaxSeq)
+		e, ok, stats := l.Get(k, kv.MaxSeq)
 		if !ok || e.Seq != uint64(j+1) {
 			t.Fatalf("Get(%s) = %v %v", k, e, ok)
 		}
-		if probed != 1 {
-			t.Fatalf("sorted-run get should probe 1 table, probed %d", probed)
+		if stats.Probed != 1 {
+			t.Fatalf("sorted-run get should probe 1 table, probed %d", stats.Probed)
 		}
 	}
 }

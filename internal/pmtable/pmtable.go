@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"pmblade/internal/bloom"
 	"pmblade/internal/device"
 	"pmblade/internal/kv"
 	"pmblade/internal/pmem"
@@ -73,6 +74,8 @@ const (
 	// leading bytes extracted as "superfluous coding information" such as
 	// {tableID}. keyenc record/index keys share their first 10 bytes.
 	metaPrefixLen = 10
+	// filterBitsPerKey sizes the per-table Bloom filter (~1% false positives).
+	filterBitsPerKey = 10
 )
 
 // ErrCorrupt reports a malformed table image.
@@ -88,6 +91,7 @@ type Table struct {
 
 	smallest []byte
 	largest  []byte
+	filter   *bloom.Filter
 
 	// Format-specific decoded metadata (kept in DRAM, as the paper keeps
 	// search metadata cheap; the data itself stays in PM).
@@ -113,22 +117,33 @@ func (t *Table) Smallest() []byte { return t.smallest }
 // Largest returns the largest user key in the table.
 func (t *Table) Largest() []byte { return t.largest }
 
+// MayContain reports whether key is possibly present. False means definitely
+// absent; readers use it to skip probing the table entirely. A table without
+// a filter always reports true.
+func (t *Table) MayContain(key []byte) bool {
+	if t.filter == nil {
+		return true
+	}
+	return t.filter.MayContain(key)
+}
+
 // Release returns the table's space to the arena free accounting.
 func (t *Table) Release() { t.dev.Release(t.addr) }
 
 // header layout:
 //
 //	magic u32 | format u8 | reserved u8 | count u32 | groupSize u32 |
-//	smallestLen u32 + largestLen u32 (in trailer section, variable)
+//	smallestLen u32 + largestLen u32 + filterLen u32 (trailer sections)
 //
-// The encoded image is: header | body | smallest | largest, with the
-// smallest/largest lengths in the header so Open can find them.
+// The encoded image is: header | body | smallest | largest | filter, with
+// the trailer lengths in the header so Open can find each section.
 type header struct {
 	format    Format
 	count     uint32
 	groupSize uint32
 	smallLen  uint32
 	largeLen  uint32
+	filterLen uint32
 }
 
 func encodeHeader(dst []byte, h header) []byte {
@@ -138,11 +153,12 @@ func encodeHeader(dst []byte, h header) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, h.groupSize)
 	dst = binary.LittleEndian.AppendUint32(dst, h.smallLen)
 	dst = binary.LittleEndian.AppendUint32(dst, h.largeLen)
+	dst = binary.LittleEndian.AppendUint32(dst, h.filterLen)
 	_ = headerSize
 	return dst
 }
 
-const encodedHeaderSize = 4 + 2 + 4 + 4 + 4 + 4
+const encodedHeaderSize = 4 + 2 + 4 + 4 + 4 + 4 + 4
 
 func decodeHeader(p []byte) (header, error) {
 	if len(p) < encodedHeaderSize {
@@ -157,6 +173,7 @@ func decodeHeader(p []byte) (header, error) {
 		groupSize: binary.LittleEndian.Uint32(p[10:14]),
 		smallLen:  binary.LittleEndian.Uint32(p[14:18]),
 		largeLen:  binary.LittleEndian.Uint32(p[18:22]),
+		filterLen: binary.LittleEndian.Uint32(p[22:26]),
 	}, nil
 }
 
@@ -198,16 +215,26 @@ func Build(dev *pmem.Device, entries []kv.Entry, format Format, groupSize int, c
 
 	smallest := entries[0].Key
 	largest := entries[len(entries)-1].Key
+	// A per-table Bloom filter lets level-0 readers skip tables that cannot
+	// hold the key; it is persisted with the image and decoded into DRAM on
+	// Open, like the rest of the search metadata.
+	keys := make([][]byte, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	filter := bloom.New(keys, filterBitsPerKey).Encode()
 	img := encodeHeader(nil, header{
 		format:    format,
 		count:     uint32(len(entries)),
 		groupSize: uint32(groupSize),
 		smallLen:  uint32(len(smallest)),
 		largeLen:  uint32(len(largest)),
+		filterLen: uint32(len(filter)),
 	})
 	img = append(img, body...)
 	img = append(img, smallest...)
 	img = append(img, largest...)
+	img = append(img, filter...)
 	// Whole-image checksum: Open verifies it so a torn or truncated table is
 	// detected during recovery rather than served.
 	img = binary.LittleEndian.AppendUint32(img, crc32.Checksum(img, castagnoli))
@@ -270,17 +297,20 @@ func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 	if crc32.Checksum(img, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
 		return nil, fmt.Errorf("%w: image checksum", ErrCorrupt)
 	}
-	tail := int64(h.smallLen) + int64(h.largeLen)
+	tail := int64(h.smallLen) + int64(h.largeLen) + int64(h.filterLen)
 	bodyLen := size - 4 - int64(encodedHeaderSize) - tail
 	if bodyLen < 0 {
 		return nil, ErrCorrupt
 	}
-	keys, err := dev.View(addr, encodedHeaderSize+bodyLen, tail, device.CauseClientRead)
+	trailer, err := dev.View(addr, encodedHeaderSize+bodyLen, tail, device.CauseClientRead)
 	if err != nil {
 		return nil, err
 	}
-	t.smallest = append([]byte(nil), keys[:h.smallLen]...)
-	t.largest = append([]byte(nil), keys[h.smallLen:]...)
+	t.smallest = append([]byte(nil), trailer[:h.smallLen]...)
+	t.largest = append([]byte(nil), trailer[h.smallLen:h.smallLen+h.largeLen]...)
+	if h.filterLen > 0 {
+		t.filter = bloom.Decode(trailer[h.smallLen+h.largeLen:])
+	}
 
 	body, err := dev.View(addr, encodedHeaderSize, bodyLen, device.CauseClientRead)
 	if err != nil {

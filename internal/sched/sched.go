@@ -65,6 +65,11 @@ type Pool struct {
 
 	cpuBusy atomic.Int64 // ns of compute-slot hold time
 	qComp   atomic.Int64 // in-flight compaction I/Os issued through this pool
+
+	bgMu     sync.Mutex // guards the background-worker fields below
+	bgQ      chan Task
+	bgWG     sync.WaitGroup
+	bgClosed bool
 }
 
 // NewPool creates a pool with c workers and I/O budget q. k is derived as
@@ -175,8 +180,15 @@ func (c *Ctx) Write(fn func()) {
 // completed. Tasks call it before publishing compaction results.
 func (c *Ctx) Drain() { c.wg.Wait() }
 
-// admissionWait blocks until q_flush = q − q_comp − q_cli > 0.
+// maxFlushDeferral bounds how long the admission policy may hold back a
+// pending write: sustained client load must not starve flushes forever, so
+// after this deadline the write is issued regardless of queue depth.
+const maxFlushDeferral = 5 * time.Millisecond
+
+// admissionWait blocks until q_flush = q − q_comp − q_cli > 0, or until the
+// starvation bound expires.
 func (p *Pool) admissionWait() {
+	deadline := time.Now().Add(maxFlushDeferral)
 	for {
 		qComp := int(p.qComp.Load())
 		qCli := 0
@@ -187,10 +199,59 @@ func (p *Pool) admissionWait() {
 				qCli = 0
 			}
 		}
-		if p.qMax-qComp-qCli > 0 {
+		if p.qMax-qComp-qCli > 0 || !time.Now().Before(deadline) {
 			return
 		}
 		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Submit schedules t on a background maintenance worker — the engine uses
+// this for asynchronous memtable flushes (the paper's dedicated flush
+// coroutine, decoupled from the foreground write path). Workers start lazily
+// on the first Submit and run until CloseBackground. Reports whether the task
+// was accepted; false means the background workers have been closed.
+func (p *Pool) Submit(t Task) bool {
+	p.bgMu.Lock()
+	defer p.bgMu.Unlock()
+	if p.bgClosed {
+		return false
+	}
+	if p.bgQ == nil {
+		p.bgQ = make(chan Task, 256)
+		for i := 0; i < p.workers; i++ {
+			p.bgWG.Add(1)
+			go func() {
+				defer p.bgWG.Done()
+				for t := range p.bgQ {
+					ctx := &Ctx{pool: p, slot: newWorkerSlot()}
+					t(ctx)
+					ctx.Drain()
+				}
+			}()
+		}
+	}
+	// Send while holding bgMu so CloseBackground cannot close the channel
+	// under an in-flight send; workers drain independently, so a full queue
+	// cannot deadlock here.
+	p.bgQ <- t
+	return true
+}
+
+// CloseBackground stops accepting Submit tasks, waits for queued ones to
+// finish, and joins the background workers. Idempotent.
+func (p *Pool) CloseBackground() {
+	p.bgMu.Lock()
+	if p.bgClosed {
+		p.bgMu.Unlock()
+		return
+	}
+	p.bgClosed = true
+	q := p.bgQ
+	p.bgMu.Unlock()
+	if q != nil {
+		close(q)
+		p.bgWG.Wait()
 	}
 }
 

@@ -224,6 +224,23 @@ func (d *Device) ReadAt(id FileID, off int64, p []byte, cause device.Cause) erro
 	return nil
 }
 
+// Truncate shrinks a file to size bytes, simulating a crash that tears the
+// tail of a log. Test support: it charges no I/O latency.
+func (d *Device) Truncate(id FileID, size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("ssd: truncate out of range file=%d size=%d len=%d",
+			id, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	return nil
+}
+
 // Sync models an fsync; it charges one write-latency barrier.
 func (d *Device) Sync(id FileID) error {
 	d.mu.RLock()

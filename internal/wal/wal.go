@@ -40,6 +40,11 @@ func NewWriter(dev *ssd.Device) *Writer {
 // File exposes the underlying file ID (for recovery and deletion).
 func (w *Writer) File() ssd.FileID { return w.file }
 
+// batchKind marks a record whose payload is a whole write batch rather than
+// a single entry. It shares the kind byte's position so Replay can tell the
+// two record shapes apart; kv.Kind values stay far below it.
+const batchKind = 0xFF
+
 // record layout: crc(4) | payloadLen(4) | payload
 // payload: seq(8) | kind(1) | keyLen(uvarint) | key | valLen(uvarint) | val
 func appendRecord(buf []byte, e kv.Entry) []byte {
@@ -51,6 +56,28 @@ func appendRecord(buf []byte, e kv.Entry) []byte {
 	payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
 	payload = append(payload, e.Value...)
 
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// appendBatchRecord frames entries as ONE record so the whole batch shares a
+// single checksum: recovery either replays all of it or none of it.
+// batch payload: seq(8, of the first entry) | batchKind(1) | count(uvarint) |
+// count * (seq(8) | kind(1) | keyLen(uvarint) | key | valLen(uvarint) | val)
+func appendBatchRecord(buf []byte, entries []kv.Entry) []byte {
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint64(payload, entries[0].Seq)
+	payload = append(payload, batchKind)
+	payload = binary.AppendUvarint(payload, uint64(len(entries)))
+	for _, e := range entries {
+		payload = binary.LittleEndian.AppendUint64(payload, e.Seq)
+		payload = append(payload, byte(e.Kind))
+		payload = binary.AppendUvarint(payload, uint64(len(e.Key)))
+		payload = append(payload, e.Key...)
+		payload = binary.AppendUvarint(payload, uint64(len(e.Value)))
+		payload = append(payload, e.Value...)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	return append(buf, payload...)
@@ -69,6 +96,33 @@ func (w *Writer) Append(entries ...kv.Entry) error {
 	}
 	_, err := w.dev.Append(w.file, w.buf, device.CauseWAL)
 	return err
+}
+
+// AppendBatches writes several client batches in one device write (the group
+// commit of Section IV-D's pipeline). Each batch becomes one atomic record:
+// a crash can lose whole batches from the tail but never tear one. Returns
+// the number of bytes written.
+func (w *Writer) AppendBatches(batches [][]kv.Entry) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	w.buf = w.buf[:0]
+	for _, b := range batches {
+		switch len(b) {
+		case 0:
+		case 1:
+			w.buf = appendRecord(w.buf, b[0])
+		default:
+			w.buf = appendBatchRecord(w.buf, b)
+		}
+	}
+	if len(w.buf) == 0 {
+		return 0, nil
+	}
+	_, err := w.dev.Append(w.file, w.buf, device.CauseWAL)
+	return int64(len(w.buf)), err
 }
 
 // Sync flushes the log to stable storage.
@@ -116,17 +170,64 @@ func Replay(dev *ssd.Device, file ssd.FileID, fn func(kv.Entry) error) (int, err
 		if crc32.Checksum(payload, castagnoli) != crc {
 			break // corrupt record: stop replay here
 		}
-		e, err := parsePayload(payload)
-		if err != nil {
-			break
+		if payload[8] == batchKind {
+			entries, err := parseBatchPayload(payload)
+			if err != nil {
+				break
+			}
+			for _, e := range entries {
+				if err := fn(e); err != nil {
+					return n, err
+				}
+				n++
+			}
+		} else {
+			e, err := parsePayload(payload)
+			if err != nil {
+				break
+			}
+			if err := fn(e); err != nil {
+				return n, err
+			}
+			n++
 		}
-		if err := fn(e); err != nil {
-			return n, err
-		}
-		n++
 		raw = raw[8+plen:]
 	}
 	return n, nil
+}
+
+func parseBatchPayload(p []byte) ([]kv.Entry, error) {
+	p = p[9:] // leading seq + batchKind already inspected by the caller
+	count, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, errors.New("wal: bad batch count")
+	}
+	p = p[w:]
+	entries := make([]kv.Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 9 {
+			return nil, fmt.Errorf("wal: short batch payload %d", len(p))
+		}
+		e := kv.Entry{Seq: binary.LittleEndian.Uint64(p[0:8]), Kind: kv.Kind(p[8])}
+		p = p[9:]
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < klen {
+			return nil, errors.New("wal: bad batch key length")
+		}
+		e.Key = append([]byte(nil), p[n:n+int(klen)]...)
+		p = p[n+int(klen):]
+		vlen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < vlen {
+			return nil, errors.New("wal: bad batch value length")
+		}
+		e.Value = append([]byte(nil), p[n:n+int(vlen)]...)
+		p = p[n+int(vlen):]
+		entries = append(entries, e)
+	}
+	if len(p) != 0 {
+		return nil, errors.New("wal: trailing bytes in batch payload")
+	}
+	return entries, nil
 }
 
 func parsePayload(p []byte) (kv.Entry, error) {

@@ -148,3 +148,94 @@ func TestWALBytesAttributed(t *testing.T) {
 		t.Fatalf("WAL write bytes not attributed: %d", dev.Stats().WriteBytes(device.CauseWAL))
 	}
 }
+
+// TestAppendBatchesRoundTrip checks the group-commit path: several writers'
+// batches coalesced into one device append replay in order, with batch-record
+// framing invisible to the replay callback.
+func TestAppendBatchesRoundTrip(t *testing.T) {
+	dev := testDev()
+	w := NewWriter(dev)
+	var want []kv.Entry
+	var batches [][]kv.Entry
+	seq := uint64(0)
+	for b := 0; b < 8; b++ {
+		n := 1 + b%4 // mix single-entry and multi-entry batches
+		var batch []kv.Entry
+		for j := 0; j < n; j++ {
+			seq++
+			e := kv.Entry{
+				Key:   []byte(fmt.Sprintf("b%02d-k%02d", b, j)),
+				Value: []byte(fmt.Sprintf("v-%d", seq)),
+				Seq:   seq,
+			}
+			batch = append(batch, e)
+			want = append(want, e)
+		}
+		batches = append(batches, batch)
+	}
+	batches = append(batches, nil) // empty batches are skipped, not framed
+	if _, err := w.AppendBatches(batches); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var got []kv.Entry
+	if _, err := Replay(dev, w.File(), func(e kv.Entry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Key, want[i].Key) ||
+			!bytes.Equal(got[i].Value, want[i].Value) ||
+			got[i].Seq != want[i].Seq {
+			t.Fatalf("entry %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplayDropsTornBatchAtomically tears the device mid-way through the
+// last batch record and checks replay returns every prior batch intact and
+// nothing from the torn one.
+func TestReplayDropsTornBatchAtomically(t *testing.T) {
+	dev := testDev()
+	w := NewWriter(dev)
+	full := [][]kv.Entry{
+		{{Key: []byte("a1"), Value: []byte("v"), Seq: 1}, {Key: []byte("a2"), Value: []byte("v"), Seq: 2}},
+		{{Key: []byte("b1"), Value: []byte("v"), Seq: 3}},
+	}
+	if _, err := w.AppendBatches(full); err != nil {
+		t.Fatal(err)
+	}
+	intact := dev.Size(w.File())
+	torn := [][]kv.Entry{
+		{{Key: []byte("c1"), Value: []byte("v"), Seq: 4}, {Key: []byte("c2"), Value: []byte("v"), Seq: 5}},
+	}
+	if _, err := w.AppendBatches(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Truncate(w.File(), intact+(dev.Size(w.File())-intact)/2); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if _, err := Replay(dev, w.File(), func(e kv.Entry) error {
+		got = append(got, string(e.Key))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "a2", "b1"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v want %v", got, want)
+		}
+	}
+}
