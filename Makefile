@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same steps (.github/workflows/ci.yml).
+
+GO ?= go
+VET_BIN := $(CURDIR)/bin/pmblade-vet
+
+.PHONY: build test race vet pmblade-vet verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Build the invariant analyzers and run them through go vet's driver so
+# results are cached per package like any other vet pass.
+pmblade-vet:
+	$(GO) build -o $(VET_BIN) ./cmd/pmblade-vet
+	$(GO) vet -vettool=$(VET_BIN) ./...
+
+# verify is the pre-merge gate: everything CI checks, in one target.
+verify: build vet pmblade-vet race
+
+clean:
+	rm -rf bin

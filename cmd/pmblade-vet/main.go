@@ -1,0 +1,153 @@
+// pmblade-vet runs the engine's invariant analyzers (lockorder, guardedby,
+// nodrop, nondeterminism, crcbeforeuse) over the module. It works two ways:
+//
+// Standalone, from anywhere inside the module:
+//
+//	pmblade-vet ./...                 # whole module (the default)
+//	pmblade-vet ./internal/engine     # specific package directories
+//
+// As a go vet tool, which runs it with go's own build graph and caching:
+//
+//	go vet -vettool=$(which pmblade-vet) ./...
+//
+// Exit status is non-zero when any unsuppressed diagnostic is reported.
+// Suppressions (//pmblade:allow <analyzer> <reason>) and the policy for them
+// are documented in DESIGN.md §5.3.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pmblade/internal/analysis"
+	"pmblade/internal/analysis/suite"
+)
+
+const version = "v0.1.0"
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes vet tools before use: -V=full must print
+	// "<name> version <ver>" for the build cache, and -flags must dump the
+	// tool's flag set as JSON (we have none).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), version)
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		case "help", "-help", "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMain(args[0]))
+	}
+	os.Exit(standaloneMain(args))
+}
+
+func usage() {
+	fmt.Println("usage: pmblade-vet [package-dirs | ./...]")
+	fmt.Println("       go vet -vettool=$(which pmblade-vet) ./...")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	for _, a := range suite.Analyzers() {
+		fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("suppress a finding with `//pmblade:allow <analyzer> <reason>` on or")
+	fmt.Println("above the flagged line (policy: DESIGN.md §5.3).")
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func standaloneMain(args []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	root, modPath, err := moduleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+		return 1
+	}
+	loader := analysis.NewLoader(modPath, root)
+
+	var paths []string
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "all" {
+			all, err := loader.ModulePackages()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+				return 1
+			}
+			paths = append(paths, all...)
+			continue
+		}
+		abs := arg
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(wd, arg)
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fmt.Fprintf(os.Stderr, "pmblade-vet: %s is outside the module\n", arg)
+			return 1
+		}
+		if rel == "." {
+			paths = append(paths, modPath)
+		} else {
+			paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+			exit = 1
+			continue
+		}
+		for _, a := range suite.Analyzers() {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+				exit = 1
+				continue
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				exit = 1
+			}
+		}
+	}
+	return exit
+}

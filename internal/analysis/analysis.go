@@ -1,0 +1,162 @@
+// Package analysis is a minimal, dependency-free core for writing static
+// analyzers over the pmblade tree. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so the
+// analyzers read like standard vet passes, but it is built entirely on the
+// standard library: the toolchain image this repo builds in has no module
+// proxy access, so x/tools cannot be assumed.
+//
+// Two things are layered on top of the x/tools shape:
+//
+//   - Suppressions. A diagnostic is dropped when the flagged line, or the
+//     line immediately above it, carries a comment of the form
+//
+//	//pmblade:allow <analyzer> [reason...]
+//
+//     Suppressions are the escape hatch of last resort; DESIGN.md §5.3
+//     documents the policy (every suppression must carry a reason).
+//
+//   - Line-oriented annotations. Analyzers such as guardedby read
+//     declarative comments (e.g. "guarded by: mu"); the helpers here give
+//     them uniform access to per-node comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pmblade:allow suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `pmblade-vet help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// AllowDirective is the comment prefix that suppresses a diagnostic.
+const AllowDirective = "pmblade:allow"
+
+// HoldsDirective is the comment prefix asserting a lock is held on entry to
+// a function (read by analyzers such as guardedby and lockorder).
+const HoldsDirective = "pmblade:holds"
+
+// suppressedLines returns, per file, the set of lines on which diagnostics
+// of the named analyzer are suppressed. A //pmblade:allow comment covers its
+// own line and the line below it (so it can trail the statement or sit on
+// its own line above).
+func suppressedLines(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.Fields(strings.TrimSpace(text[len(AllowDirective):]))
+				if len(rest) == 0 || rest[0] != name {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer applies a to pkg and returns the surviving (non-suppressed)
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sup := suppressedLines(pkg.Fset, pkg.Files, a.Name)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if m := sup[pos.Filename]; m != nil && m[pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// CommentDirectives returns every "pmblade:<verb>" directive attached to the
+// given comment groups, as the text after the verb, for groups that are not
+// nil.
+func CommentDirectives(verb string, groups ...*ast.CommentGroup) []string {
+	var out []string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, verb) {
+				out = append(out, strings.TrimSpace(text[len(verb):]))
+			}
+		}
+	}
+	return out
+}
+
+// HasSuffixPath reports whether the slash-separated package path ends with
+// suffix at a path-segment boundary. Analyzers scope themselves by suffix
+// ("internal/wal") rather than the full module path so that analysistest
+// fixtures can stand in for the real packages.
+func HasSuffixPath(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages and compares
+// its diagnostics against expectations written in the fixtures, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which this repo cannot
+// depend on — the build image has no module proxy).
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A line that should
+// be flagged carries a trailing comment:
+//
+//	w.buf = nil // want `buf accessed without holding`
+//
+// Each string after "want" is a regular expression that must match the
+// message of a distinct diagnostic reported on that line; both `...` and
+// "..." quoting are accepted. Lines with no want comment must produce no
+// diagnostics. Suppression comments (//pmblade:allow) are honored, so a
+// fixture can also assert that a suppressed violation stays silent.
+package analysistest
+
+import (
+	"go/scanner"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"pmblade/internal/analysis"
+)
+
+// wantRe matches the leading "want" keyword of an expectation comment.
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package rooted at testdata/src, applies a, and
+// reports mismatches between diagnostics and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := analysis.NewLoader("fixture.invalid", src, src)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+func consume(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every fixture file's comments for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits `"re1" "re2"` / backquoted forms using the Go scanner.
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("", fset.Base(), len(s))
+	sc.Init(file, []byte(s), nil, 0)
+	var out []string
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok != token.STRING {
+			t.Fatalf("%s: malformed want expectation %q", pos, s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: malformed want string %q: %v", pos, lit, err)
+		}
+		out = append(out, unq)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want expectation with no patterns", pos)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package crcbeforeuse enforces the torn-write discipline of the WAL and the
+// PM table image format: a record payload read back from a device must have
+// its CRC verified before any of it is decoded. Both formats put a
+// Castagnoli CRC alongside the payload precisely so that recovery can detect
+// a torn or corrupt image instead of serving garbage; decoding first — even
+// "just the header" — turns a detectable corruption into undefined behavior
+// (or an exploitable parse of attacker-controlled bytes).
+//
+// Within internal/wal and internal/pmtable the analyzer checks every
+// function that both verifies a CRC (a ==/!= comparison involving a
+// hash/crc32 call, or a call whose name contains "crc" or "checksum") and
+// calls a decode helper (a function named parse*, decode*, unmarshal*, or
+// open*Meta): each decode call must come after the first verification.
+// Additionally, an exported Open, Replay, or Load* in those packages that
+// decodes without any CRC verification at all is flagged — a new image
+// loader must either verify or delegate to a verifying helper and say so
+// with an annotation.
+package crcbeforeuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the crcbeforeuse pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "crcbeforeuse",
+	Doc: "in wal/pmtable, record payloads must not be decoded before their CRC " +
+		"is verified",
+	Run: run,
+}
+
+// scoped lists the package-path suffixes the analyzer applies to.
+var scoped = []string{
+	"internal/wal",
+	"internal/pmtable",
+}
+
+var decodeName = regexp.MustCompile(`(?i)^(parse|decode|unmarshal|open.*meta$)`)
+var loaderName = regexp.MustCompile(`^(Open|Replay|Load)`)
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scoped {
+		if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isCRCCall reports whether call computes or verifies a checksum: a function
+// from hash/crc32, or any function whose name mentions crc/checksum.
+func isCRCCall(info *types.Info, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "hash/crc32" {
+		return true
+	}
+	lower := strings.ToLower(fn.Name())
+	return strings.Contains(lower, "crc") || strings.Contains(lower, "checksum")
+}
+
+// decodeCallee returns the called decode-helper function, if call is one.
+func decodeCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || !decodeName.MatchString(fn.Name()) {
+		return nil, false
+	}
+	// Decoders from encoding/json etc. count too: what matters is that
+	// payload bytes are being interpreted.
+	return fn, true
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First pass: find the position of the first CRC verification — a
+	// comparison whose operands involve a CRC call.
+	verifyPos := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		found := false
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isCRCCall(pass.TypesInfo, call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		if found && (!verifyPos.IsValid() || be.Pos() < verifyPos) {
+			verifyPos = be.Pos()
+		}
+		return true
+	})
+
+	// Second pass: every decode call must come after the verification.
+	type decode struct {
+		call *ast.CallExpr
+		fn   *types.Func
+	}
+	var decodes []decode
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := decodeCallee(pass.TypesInfo, call); ok {
+				decodes = append(decodes, decode{call, fn})
+			}
+		}
+		return true
+	})
+	if len(decodes) == 0 {
+		return
+	}
+	if verifyPos.IsValid() {
+		for _, d := range decodes {
+			if d.call.Pos() < verifyPos {
+				pass.Reportf(d.call.Pos(),
+					"%s decodes the payload before its CRC is verified (verification is below at %s)",
+					d.fn.Name(), pass.Fset.Position(verifyPos))
+			}
+		}
+		return
+	}
+	if fd.Name.IsExported() && loaderName.MatchString(fd.Name.Name) && fd.Recv == nil {
+		pass.Reportf(fd.Pos(),
+			"%s decodes device-resident records but never verifies a CRC; verify the image checksum first",
+			fd.Name.Name)
+	}
+}

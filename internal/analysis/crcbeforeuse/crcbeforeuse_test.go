@@ -1,0 +1,12 @@
+package crcbeforeuse_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/crcbeforeuse"
+)
+
+func TestCRCBeforeUse(t *testing.T) {
+	analysistest.Run(t, "testdata", crcbeforeuse.Analyzer, "internal/wal")
+}

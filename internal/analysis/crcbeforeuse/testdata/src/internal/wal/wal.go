@@ -1,0 +1,70 @@
+// Package wal is a fixture whose import path puts it in crcbeforeuse's scope.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+var errCorrupt = errors.New("corrupt")
+
+type record struct {
+	seq     uint64
+	payload []byte
+}
+
+func decodeRecord(p []byte) (record, error) {
+	if len(p) < 8 {
+		return record{}, errCorrupt
+	}
+	return record{seq: binary.LittleEndian.Uint64(p), payload: p[8:]}, nil
+}
+
+func parseHeader(p []byte) uint32 { return binary.LittleEndian.Uint32(p) }
+
+// verifyThenDecode is the required shape: checksum comparison first.
+func verifyThenDecode(p []byte, want uint32) (record, error) {
+	if crc32.ChecksumIEEE(p) != want {
+		return record{}, errCorrupt
+	}
+	return decodeRecord(p)
+}
+
+// decodeThenVerify interprets payload bytes before the checksum comparison.
+func decodeThenVerify(p []byte, want uint32) (record, error) {
+	r, err := decodeRecord(p) // want `decodeRecord decodes the payload before its CRC is verified`
+	if err != nil {
+		return record{}, err
+	}
+	if crc32.ChecksumIEEE(p) != want {
+		return record{}, errCorrupt
+	}
+	return r, nil
+}
+
+// Open decodes a device image without any CRC verification at all.
+func Open(img []byte) (record, error) { // want `Open decodes device-resident records but never verifies a CRC`
+	_ = parseHeader(img)
+	return decodeRecord(img[4:])
+}
+
+// Replay contains no decode call itself — it delegates to a helper that
+// verifies internally — so the loader rule stays silent.
+func Replay(img []byte, want uint32) (record, error) {
+	return verifyThenDecode(img, want)
+}
+
+// OpenTrusted decodes without verifying; the annotation records why that is
+// acceptable and silences the loader rule.
+//
+//pmblade:allow crcbeforeuse fixture: caller verifies the enclosing snapshot checksum
+func OpenTrusted(img []byte) (record, error) {
+	return decodeRecord(img)
+}
+
+// load is unexported: the no-verify loader rule applies only to the exported
+// entry points, so this produces no diagnostic.
+func load(img []byte) (record, error) {
+	return decodeRecord(img)
+}

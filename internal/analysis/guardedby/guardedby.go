@@ -1,0 +1,245 @@
+// Package guardedby checks that struct fields annotated with a
+// "guarded by: <mutex>" comment are only accessed while that mutex is held.
+// The annotation names a sibling field of sync.Mutex or sync.RWMutex type:
+//
+//	mu  sync.RWMutex
+//	mem *memtable.Memtable // guarded by: mu
+//
+// The check is intra-procedural and flow-approximate: within each function
+// body the analyzer replays Lock/RLock/Unlock/RUnlock calls in source order
+// and requires every access to base.field to be dominated by a
+// base.mutex.Lock() (deferred unlocks are treated as end-of-function, like
+// the idiomatic defer mu.Unlock()). Function literals are separate scopes:
+// a goroutine body cannot inherit its creator's locks. Functions that are
+// documented to be called with a lock already held declare it:
+//
+//	//pmblade:holds mu        (receiver's mu)
+//	//pmblade:holds p.mu      (parameter p's mu)
+//
+// This is deliberately simple — no aliasing, no cross-function inference —
+// mirroring the approximation that gVisor's checklocks and Clang's
+// -Wthread-safety found sufficient in practice. Accesses that are safe for
+// out-of-band reasons (single-threaded recovery, an object not yet
+// published) carry //pmblade:allow guardedby with the reason.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `guarded by: mu` may only be accessed with that " +
+		"mutex held in the enclosing function",
+	Run: run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by:\s*([A-Za-z_][A-Za-z_0-9]*)`)
+
+// collectGuards maps each annotated field object to its guard field name.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := ""
+				for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if g == nil {
+						continue
+					}
+					if m := guardRe.FindStringSubmatch(g.Text()); m != nil {
+						guard = m[1]
+					}
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// eventKind discriminates the replayed events.
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evAccess
+)
+
+type event struct {
+	pos  token.Pos
+	kind eventKind
+	// key is "base.mutex" for lock events, "base.mutex" required for access.
+	key      string
+	deferred bool
+	// access detail for diagnostics
+	field string
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+var lockOps = map[string]eventKind{
+	"Lock": evLock, "RLock": evLock,
+	"Unlock": evUnlock, "RUnlock": evUnlock,
+}
+
+// collectBody gathers the ordered events of one function body, not
+// descending into nested function literals.
+func collectBody(pass *analysis.Pass, body *ast.BlockStmt, guards map[*types.Var]string) []event {
+	var events []event
+	var deferSpans [][2]token.Pos
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if n.Body != nil && root != n {
+					return false // separate scope
+				}
+			case *ast.DeferStmt:
+				deferSpans = append(deferSpans, [2]token.Pos{n.Pos(), n.End()})
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := lockOps[sel.Sel.Name]
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[sel.X]; !ok || !isMutexType(tv.Type) {
+					return true
+				}
+				events = append(events, event{pos: n.Pos(), kind: kind, key: types.ExprString(sel.X)})
+			case *ast.SelectorExpr:
+				selInfo, ok := pass.TypesInfo.Selections[n]
+				if !ok || selInfo.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := selInfo.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				guard, ok := guards[v]
+				if !ok {
+					return true
+				}
+				base := types.ExprString(n.X)
+				events = append(events, event{
+					pos:   n.Pos(),
+					kind:  evAccess,
+					key:   base + "." + guard,
+					field: base + "." + v.Name(),
+				})
+			}
+			return true
+		})
+	}
+	walk(body)
+	for i := range events {
+		for _, sp := range deferSpans {
+			if events[i].pos >= sp[0] && events[i].pos < sp[1] {
+				events[i].deferred = true
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// initialHeld parses //pmblade:holds directives on a function declaration.
+func initialHeld(fd *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	for _, d := range analysis.CommentDirectives(analysis.HoldsDirective, fd.Doc) {
+		for _, tok := range strings.Fields(d) {
+			if !strings.Contains(tok, ".") && recv != "" {
+				tok = recv + "." + tok
+			}
+			held[tok] = true
+		}
+	}
+	return held
+}
+
+func checkBody(pass *analysis.Pass, events []event, held map[string]bool) {
+	for _, e := range events {
+		switch e.kind {
+		case evLock:
+			if !e.deferred {
+				held[e.key] = true
+			}
+		case evUnlock:
+			if !e.deferred {
+				delete(held, e.key)
+			}
+		case evAccess:
+			if !held[e.key] {
+				pass.Reportf(e.pos, "%s accessed without holding %s (guarded by: annotation)",
+					e.field, e.key)
+			}
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, collectBody(pass, fd.Body, guards), initialHeld(fd))
+			// Nested function literals are independent scopes with no locks
+			// held at entry.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+					checkBody(pass, collectBody(pass, fl.Body, guards), map[string]bool{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guarded")
+}

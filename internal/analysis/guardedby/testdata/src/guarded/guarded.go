@@ -1,0 +1,89 @@
+// Package guarded exercises the guardedby annotation check.
+package guarded
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	data int // guarded by: mu
+
+	rw    sync.RWMutex
+	table []int // guarded by: rw
+
+	plain int // unannotated; free to access
+}
+
+func (s *S) set(v int) {
+	s.mu.Lock()
+	s.data = v
+	s.mu.Unlock()
+}
+
+func (s *S) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data
+}
+
+func (s *S) read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return len(s.table)
+}
+
+func (s *S) bare() int {
+	s.plain++     // unannotated field: fine
+	return s.data // want `s\.data accessed without holding s\.mu`
+}
+
+func (s *S) afterUnlock() {
+	s.mu.Lock()
+	s.data = 1
+	s.mu.Unlock()
+	s.data = 2 // want `s\.data accessed without holding s\.mu`
+}
+
+func (s *S) wrongLock() {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	s.data = 3 // want `s\.data accessed without holding s\.mu`
+}
+
+// goroutineLeak shows that a function literal is a separate scope: the
+// creator's lock does not cover the goroutine body.
+func (s *S) goroutineLeak() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.data = 4 // want `s\.data accessed without holding s\.mu`
+	}()
+}
+
+func (s *S) closureLocksItself() {
+	f := func() {
+		s.mu.Lock()
+		s.data = 5
+		s.mu.Unlock()
+	}
+	f()
+}
+
+// setLocked is documented to run with s.mu already held.
+//
+//pmblade:holds mu
+func (s *S) setLocked(v int) {
+	s.data = v
+}
+
+// setQualified uses the qualified directive form for a parameter.
+//
+//pmblade:holds o.mu
+func setQualified(o *S, v int) {
+	o.data = v
+}
+
+func (s *S) suppressed() int {
+	// Constructor-style access before the value is published:
+	//pmblade:allow guardedby fixture demonstrating suppression
+	return s.data
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoaderSmoke(t *testing.T) {
+	l := NewLoader("pmblade", repoRoot(t))
+	for _, p := range []string{"pmblade/internal/engine", "pmblade/internal/wal", "pmblade/internal/pmtable", "pmblade/internal/experiments"} {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		if len(pkg.Files) == 0 {
+			t.Fatalf("%s: no files", p)
+		}
+	}
+	pkgs, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected >=20 packages, got %d: %v", len(pkgs), pkgs)
+	}
+}

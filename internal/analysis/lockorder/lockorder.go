@@ -1,0 +1,391 @@
+// Package lockorder enforces the engine's compaction lock hierarchy, which
+// PR 1's asynchronous write pipeline rests on (see the DB.majorMu comment in
+// internal/engine and DESIGN.md §5.3):
+//
+//  1. majorMu before maint: a cross-partition decision (the Eq. 3 knapsack,
+//     the global wipe, manifest snapshots) takes the coarse majorMu first
+//     and then each victim partition's maint lock.
+//  2. Never the reverse: acquiring majorMu — directly or through any callee
+//     that may — while holding a partition's maint lock deadlocks against
+//     rule 1.
+//  3. A single partition's maint lock may be taken alone (per-partition
+//     flush and internal compaction run in parallel), but holding two or
+//     more maint locks simultaneously requires majorMu, and loops that
+//     accumulate maint locks must walk partitions in ascending order.
+//
+// The analysis is intra-procedural over source order, with one package-wide
+// fixpoint: a function "may acquire majorMu" if it locks it directly or
+// calls a same-package function that may. Holding a maint lock across a call
+// to such a function is rule 2's violation. A maint.Lock inside a loop with
+// no maint.Unlock in the same loop body is treated as multi-partition
+// acquisition (rule 3); a descending loop counter there is a lock-order
+// inversion between partitions.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the majorMu-before-maint lock hierarchy and ascending " +
+		"multi-partition maint acquisition in internal/engine",
+	Run: run,
+}
+
+// scoped lists the package-path suffixes the analyzer applies to.
+var scoped = []string{"internal/engine"}
+
+const (
+	maintName = "maint"
+	majorName = "majorMu"
+)
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scoped {
+		if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	mayLockMajor := computeMayLockMajor(pass, decls)
+	for _, fd := range decls {
+		checkFunc(pass, fd, mayLockMajor)
+	}
+	return nil
+}
+
+// mutexCall matches expr as a call base.<mutex>.<op>() and returns the
+// rendered base, the mutex field name, and the op.
+func mutexCall(call *ast.CallExpr) (base, mutex, op string, ok bool) {
+	sel, k := call.Fun.(*ast.SelectorExpr)
+	if !k {
+		return "", "", "", false
+	}
+	op = sel.Sel.Name
+	if op != "Lock" && op != "Unlock" {
+		return "", "", "", false
+	}
+	inner, k := sel.X.(*ast.SelectorExpr)
+	if !k {
+		return "", "", "", false
+	}
+	return types.ExprString(inner.X), inner.Sel.Name, op, true
+}
+
+// callee resolves a call to a function declared in this package.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// computeMayLockMajor runs the package-wide fixpoint of rule 2's transitive
+// "may acquire majorMu" property.
+func computeMayLockMajor(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	calls := map[*types.Func][]*types.Func{}
+	may := map[*types.Func]bool{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, mutex, op, ok := mutexCall(call); ok && mutex == majorName && op == "Lock" {
+				may[fn] = true
+			}
+			if target := callee(pass, call); target != nil {
+				calls[fn] = append(calls[fn], target)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, targets := range calls {
+			if may[fn] {
+				continue
+			}
+			for _, t := range targets {
+				if may[t] {
+					may[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return may
+}
+
+type event struct {
+	pos  token.Pos
+	kind string // "maintLock", "maintUnlock", "majorLock", "majorUnlock", "call"
+	base string
+	// loopMulti marks a maint.Lock inside a loop body with no maint.Unlock
+	// after it in the same loop (the lock accumulates across iterations).
+	loopMulti bool
+	// descending marks loopMulti acquisition in a loop that walks backwards.
+	descending bool
+	deferred   bool
+	fn         *types.Func // for call events
+}
+
+// loopInfo describes the innermost enclosing loop of a node.
+type loopInfo struct {
+	node       ast.Node
+	descending bool
+}
+
+func isDescendingFor(fs *ast.ForStmt) bool {
+	switch post := fs.Post.(type) {
+	case *ast.IncDecStmt:
+		return post.Tok == token.DEC
+	case *ast.AssignStmt:
+		return post.Tok == token.SUB_ASSIGN
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor map[*types.Func]bool) {
+	var events []event
+	var deferSpans [][2]token.Pos
+	var loops []loopInfo
+
+	// Manual traversal so we can track the enclosing-loop stack.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return // separate goroutine/closure scope
+		case *ast.DeferStmt:
+			deferSpans = append(deferSpans, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.ForStmt:
+			loops = append(loops, loopInfo{node: n, descending: isDescendingFor(n)})
+			defer func() { loops = loops[:len(loops)-1] }()
+		case *ast.RangeStmt:
+			loops = append(loops, loopInfo{node: n, descending: false})
+			defer func() { loops = loops[:len(loops)-1] }()
+		case *ast.CallExpr:
+			if base, mutex, op, ok := mutexCall(n); ok {
+				switch {
+				case mutex == maintName:
+					ev := event{pos: n.Pos(), base: base}
+					if op == "Lock" {
+						ev.kind = "maintLock"
+						if len(loops) > 0 {
+							l := loops[len(loops)-1]
+							ev.loopMulti = !loopHasMaintUnlock(l.node, n.Pos())
+							ev.descending = l.descending
+						}
+					} else {
+						ev.kind = "maintUnlock"
+					}
+					events = append(events, ev)
+				case mutex == majorName:
+					kind := "majorLock"
+					if op == "Unlock" {
+						kind = "majorUnlock"
+					}
+					events = append(events, event{pos: n.Pos(), kind: kind, base: base})
+				}
+			} else if fn := callee(pass, n); fn != nil && mayLockMajor[fn] {
+				events = append(events, event{pos: n.Pos(), kind: "call", fn: fn})
+			}
+		}
+		// Recurse over children in source order.
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			children = append(children, c)
+			return false
+		})
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(fd.Body)
+
+	for i := range events {
+		for _, sp := range deferSpans {
+			if events[i].pos >= sp[0] && events[i].pos < sp[1] {
+				events[i].deferred = true
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Replay.
+	majorHeld := 0
+	if holdsMajor(fd) {
+		majorHeld = 1
+	}
+	maintHeld := map[string]bool{}
+	if holdsMaint(fd) != "" {
+		maintHeld[holdsMaint(fd)] = true
+	}
+	for _, e := range events {
+		switch e.kind {
+		case "majorLock":
+			if !e.deferred {
+				if len(maintHeld) > 0 {
+					pass.Reportf(e.pos,
+						"majorMu acquired while holding a partition maint lock (%s); lock order is majorMu before maint",
+						oneKey(maintHeld))
+				}
+				majorHeld++
+			}
+		case "majorUnlock":
+			if !e.deferred && majorHeld > 0 {
+				majorHeld--
+			}
+		case "maintLock":
+			if e.deferred {
+				continue
+			}
+			if maintHeld[e.base] {
+				pass.Reportf(e.pos, "%s.maint locked while already held (self-deadlock)", e.base)
+			}
+			multi := (len(maintHeld) > 0 && !maintHeld[e.base]) || e.loopMulti
+			if multi && majorHeld == 0 {
+				pass.Reportf(e.pos,
+					"multiple partition maint locks held without majorMu; take majorMu first (Eq. 3 path) or lock one partition at a time")
+			}
+			if e.loopMulti && e.descending {
+				pass.Reportf(e.pos,
+					"partition maint locks acquired in descending order; multi-partition acquisition must ascend by partition ID")
+			}
+			maintHeld[e.base] = true
+		case "maintUnlock":
+			if !e.deferred {
+				delete(maintHeld, e.base)
+			}
+		case "call":
+			if len(maintHeld) > 0 {
+				pass.Reportf(e.pos,
+					"%s may acquire majorMu, called while holding a partition maint lock (%s); lock order is majorMu before maint",
+					e.fn.Name(), oneKey(maintHeld))
+			}
+		}
+	}
+}
+
+// loopHasMaintUnlock reports whether the loop body contains a maint.Unlock
+// after pos (the sequential lock/work/unlock-per-iteration pattern).
+func loopHasMaintUnlock(loop ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, mutex, op, ok := mutexCall(call); ok && mutex == maintName && op == "Unlock" && call.Pos() > pos {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// holdsMajor reports a //pmblade:holds majorMu directive on the function.
+func holdsMajor(fd *ast.FuncDecl) bool {
+	for _, d := range analysis.CommentDirectives(analysis.HoldsDirective, fd.Doc) {
+		for _, tok := range splitFields(d) {
+			if tok == majorName || hasSuffixDot(tok, majorName) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// holdsMaint returns the held maint key from a //pmblade:holds p.maint
+// directive, or "".
+func holdsMaint(fd *ast.FuncDecl) string {
+	for _, d := range analysis.CommentDirectives(analysis.HoldsDirective, fd.Doc) {
+		for _, tok := range splitFields(d) {
+			if tok == maintName {
+				return "recv"
+			}
+			if hasSuffixDot(tok, maintName) {
+				return tok[:len(tok)-len(maintName)-1]
+			}
+		}
+	}
+	return ""
+}
+
+func splitFields(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' || r == '\t' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func hasSuffixDot(tok, name string) bool {
+	return len(tok) > len(name)+1 && tok[len(tok)-len(name):] == name &&
+		tok[len(tok)-len(name)-1] == '.'
+}
+
+func oneKey(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0] + ".maint"
+}

@@ -1,0 +1,140 @@
+// Package nodrop forbids discarding errors on the durability path. Every
+// error-returning function of the storage device and log packages
+// (internal/wal, internal/ssd, internal/pmem) sits between a write and its
+// durability guarantee: wal.Append/Sync decide whether a commit survives a
+// crash, ssd.Append/Sync/Truncate and pmem.WriteAt decide whether table
+// images are really on media. Dropping such an error — as a bare expression
+// statement, behind `go`/`defer`, or into the blank identifier — silently
+// converts a failed write into data loss discovered at recovery time.
+//
+// The analyzer flags any call whose callee is declared in one of those
+// packages and returns an error, when that error does not flow into a named
+// variable or a return. Intentional discards (there are almost none) must be
+// annotated //pmblade:allow nodrop with a reason.
+package nodrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the nodrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodrop",
+	Doc: "forbid discarding errors from wal/ssd/pmem calls (the durability path); " +
+		"propagate or handle them",
+	Run: run,
+}
+
+// scoped lists the package-path suffixes whose error results must not be
+// dropped anywhere in the module.
+var scoped = []string{
+	"internal/wal",
+	"internal/ssd",
+	"internal/pmem",
+}
+
+// durabilityCallee reports whether call resolves to a function declared in a
+// scoped package whose last result is an error, returning the function.
+func durabilityCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	inScope := false
+	for _, s := range scoped {
+		if analysis.HasSuffixPath(fn.Pkg().Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil, false
+	}
+	return fn, true
+}
+
+func run(pass *analysis.Pass) error {
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		pass.Reportf(call.Pos(), "error from %s.%s %s; durability-path errors must be propagated",
+			fn.Pkg().Name(), fn.Name(), how)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if fn, ok := durabilityCallee(pass.TypesInfo, call); ok {
+						report(call, fn, "discarded")
+					}
+				}
+			case *ast.DeferStmt:
+				if fn, ok := durabilityCallee(pass.TypesInfo, st.Call); ok {
+					report(st.Call, fn, "discarded by defer")
+				}
+			case *ast.GoStmt:
+				if fn, ok := durabilityCallee(pass.TypesInfo, st.Call); ok {
+					report(st.Call, fn, "discarded by go statement")
+				}
+			case *ast.AssignStmt:
+				// a, err := f()  — flag when the error position is blank.
+				if len(st.Rhs) == 1 {
+					call, ok := st.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := durabilityCallee(pass.TypesInfo, call)
+					if !ok {
+						return true
+					}
+					errIdx := len(st.Lhs) - 1
+					if errIdx >= 0 && isBlank(st.Lhs[errIdx]) {
+						report(call, fn, "assigned to _")
+					}
+					return true
+				}
+				// a, b = f(), g() — parallel single-value assignments.
+				for i, rhs := range st.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fn, ok := durabilityCallee(pass.TypesInfo, call)
+					if !ok {
+						continue
+					}
+					if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+						report(call, fn, "assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

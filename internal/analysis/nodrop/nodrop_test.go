@@ -1,0 +1,12 @@
+package nodrop_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/nodrop"
+)
+
+func TestNoDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", nodrop.Analyzer, "app")
+}

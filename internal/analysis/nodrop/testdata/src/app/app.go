@@ -1,0 +1,43 @@
+// Package app consumes the fixture wal package; nodrop applies to callers in
+// any package.
+package app
+
+import "internal/wal"
+
+func drops(w *wal.Writer, p []byte) {
+	w.Append(p)     // want `error from wal\.Append discarded`
+	defer w.Close() // want `error from wal\.Close discarded by defer`
+	go w.Sync()     // want `error from wal\.Sync discarded by go statement`
+	wal.Truncate()  // want `error from wal\.Truncate discarded`
+
+	_ = w.Sync() // want `error from wal\.Sync assigned to _`
+
+	n, _ := w.WriteAt(p) // want `error from wal\.WriteAt assigned to _`
+	_ = n
+
+	a, b := w.Sync(), w.Sync() // both named: nothing dropped, no diagnostic
+	_ = a
+	_ = b
+	// The parallel form flags only blank positions: rebind b's slot to _.
+	a, _ = w.Sync(), w.Sync() // want `error from wal\.Sync assigned to _`
+	_ = a
+}
+
+func handles(w *wal.Writer, p []byte) error {
+	if err := w.Append(p); err != nil {
+		return err
+	}
+	n, err := w.WriteAt(p)
+	if err != nil {
+		return err
+	}
+	_ = n
+	w.Len() // no error result; fine to discard
+	return w.Sync()
+}
+
+func suppressed(w *wal.Writer) {
+	// Shutdown paths may intentionally ignore a close error, with a reason:
+	//pmblade:allow nodrop fixture demonstrating suppression
+	w.Close()
+}

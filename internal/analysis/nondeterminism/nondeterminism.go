@@ -1,0 +1,94 @@
+// Package nondeterminism rejects wall-clock and global-randomness use in the
+// packages that must stay deterministic: the Eq. 1–3 cost-model machinery
+// (internal/costmodel), the compaction planner (internal/compaction), and the
+// paper-reproduction harness (internal/experiments). Their outputs are
+// compared against the paper's tables and figures, so a stray time.Now or an
+// unseeded rand call turns a reproduction into a flake.
+//
+// Banned: the time package's clock readers and timers (Now, Since, Until,
+// Sleep, After, AfterFunc, Tick, NewTimer, NewTicker) and math/rand's
+// package-level functions, which draw from the shared global source. Allowed:
+// time.Duration arithmetic and constants, and explicitly seeded generators
+// (rand.New(rand.NewSource(seed)), rand.NewZipf) whose sequences are
+// reproducible. Wall-time measurement belongs behind pmblade/internal/clock
+// (clock.NewStopwatch), the single injection point for time.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the nondeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid time.Now/math/rand globals in the deterministic packages " +
+		"(costmodel, compaction, experiments); inject internal/clock or a seeded rand.Rand",
+	Run: run,
+}
+
+// scoped lists the package-path suffixes the analyzer applies to.
+var scoped = []string{
+	"internal/costmodel",
+	"internal/compaction",
+	"internal/experiments",
+}
+
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are math/rand functions that construct explicitly seeded
+// generators; everything else at package level uses the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scoped {
+		if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in deterministic package %s; use pmblade/internal/clock (Stopwatch) instead",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed))",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nondeterminism.Analyzer,
+		"internal/costmodel", "freepkg")
+}

@@ -1,0 +1,9 @@
+// Package freepkg is outside the deterministic set; wall-clock use here is
+// fine and the analyzer must stay silent.
+package freepkg
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,48 @@
+// Package costmodel is a fixture standing in for pmblade/internal/costmodel:
+// its import path ends in internal/costmodel, so the nondeterminism analyzer
+// applies.
+package costmodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now() // want `time\.Now in deterministic package`
+	var d time.Duration
+	d = time.Since(start) // want `time\.Since in deterministic package`
+	time.Sleep(d)         // want `time\.Sleep in deterministic package`
+	return d
+}
+
+func timers() {
+	<-time.After(time.Millisecond) // want `time\.After in deterministic package`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global source`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global source`
+}
+
+// seededRand constructs reproducible generators — allowed.
+func seededRand() *rand.Rand {
+	r := rand.New(rand.NewSource(42))
+	_ = rand.NewZipf(r, 1.1, 1.0, 1000)
+	return r
+}
+
+// durations uses only time constants and arithmetic — allowed.
+func durations() time.Duration {
+	return 3 * time.Millisecond / 2
+}
+
+// suppressed shows the escape hatch for a documented exception.
+func suppressed() time.Time {
+	//pmblade:allow nondeterminism fixture demonstrating suppression
+	return time.Now()
+}

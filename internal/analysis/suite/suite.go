@@ -1,0 +1,24 @@
+// Package suite lists the analyzers that make up pmblade-vet. The driver,
+// the CI job, and the self-check test all consume this one registry so a new
+// analyzer only needs to be added here.
+package suite
+
+import (
+	"pmblade/internal/analysis"
+	"pmblade/internal/analysis/crcbeforeuse"
+	"pmblade/internal/analysis/guardedby"
+	"pmblade/internal/analysis/lockorder"
+	"pmblade/internal/analysis/nodrop"
+	"pmblade/internal/analysis/nondeterminism"
+)
+
+// Analyzers returns the full pmblade-vet suite in deterministic order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		crcbeforeuse.Analyzer,
+		guardedby.Analyzer,
+		lockorder.Analyzer,
+		nodrop.Analyzer,
+		nondeterminism.Analyzer,
+	}
+}

@@ -1,0 +1,66 @@
+package suite_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"pmblade/internal/analysis"
+	"pmblade/internal/analysis/suite"
+)
+
+// TestModuleClean runs the full pmblade-vet suite over every package of the
+// module and requires zero unsuppressed diagnostics — the same bar the CI
+// pmblade-vet job enforces, kept inside `go test` so a violation fails the
+// ordinary test run too.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module from source")
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+	loader := analysis.NewLoader("pmblade", root)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 20 {
+		t.Fatalf("module walk found only %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, a := range suite.Analyzers() {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
+}
+
+// TestSuiteRegistry pins the expected analyzer set so a dropped registration
+// is caught.
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"crcbeforeuse", "guardedby", "lockorder", "nodrop", "nondeterminism"}
+	got := suite.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -23,6 +23,12 @@ import (
 var ErrClosed = errors.New("engine: closed")
 
 // DB is the PM-Blade storage engine.
+//
+// Concurrency: the lock hierarchy is documented in DESIGN.md §5.3. In
+// short: majorMu > partition.maint > partition.mu, and the small leaf
+// mutexes (walMu, flushesMu, partition.l0mu, partition.seenMu) are never
+// held across an acquisition of any other lock. Fields carry "guarded by:"
+// annotations checked by the guardedby analyzer (pmblade-vet).
 type DB struct {
 	cfg   Config
 	pm    *pmem.Device
@@ -66,7 +72,7 @@ type DB struct {
 	// flushes counts scheduled-but-unfinished background flush tasks;
 	// flushesCv signals when it reaches zero (drainFlushes).
 	flushesMu sync.Mutex
-	flushes   int
+	flushes   int // guarded by: flushesMu
 	flushesCv *sync.Cond
 }
 
@@ -79,8 +85,8 @@ type partition struct {
 
 	// mu guards memtable rotation; reads snapshot under RLock.
 	mu  sync.RWMutex
-	mem *memtable.Memtable
-	imm []*memtable.Memtable // newest first
+	mem *memtable.Memtable   // guarded by: mu
+	imm []*memtable.Memtable // newest first; guarded by: mu
 
 	// maint serializes this partition's structural maintenance (flush,
 	// internal compaction, major compaction of this partition) without
@@ -91,9 +97,9 @@ type partition struct {
 	flushPending atomic.Bool
 
 	l0    *level0.Level0   // PM level-0 (Level0OnPM)
-	l0ssd []*sstable.Table // SSD level-0, newest first (PMBlade-SSD)
-	l0mu  sync.RWMutex     // guards l0ssd
-	run   *levels.Run      // SSD level-1 sorted run (non-RocksDB modes)
+	l0ssd []*sstable.Table // SSD level-0, newest first (PMBlade-SSD); guarded by: l0mu
+	l0mu  sync.RWMutex
+	run   *levels.Run // SSD level-1 sorted run (non-RocksDB modes)
 
 	leveled *levels.Leveled // RocksDB mode
 
@@ -104,7 +110,7 @@ type partition struct {
 	// seen tracks key hashes written since the last stats reset — the O(1)
 	// update detector feeding n_i^u (Eq. 2).
 	seenMu sync.Mutex
-	seen   map[uint64]struct{}
+	seen   map[uint64]struct{} // guarded by: seenMu
 }
 
 // noteKeyWrite records a write in the update detector, reporting whether the

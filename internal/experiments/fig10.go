@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/engine"
 	"pmblade/internal/retail"
 )
@@ -93,13 +94,13 @@ func RunFig10(s Scale, w io.Writer) (Fig10Result, Report) {
 			}
 		}
 		db.Metrics().ResetLatencies()
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		for i := 0; i < actions; i++ {
 			if err := d.do(gen.Next()); err != nil {
 				panic(err)
 			}
 		}
-		wall := time.Since(start)
+		wall := sw.Elapsed()
 		m := db.Metrics()
 		res.ReadLat = append(res.ReadLat, m.ReadLatency.Mean())
 		res.ScanLat = append(res.ScanLat, m.ScanLatency.Mean())

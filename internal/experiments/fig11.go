@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/engine"
 	"pmblade/internal/matrixkv"
 	"pmblade/internal/pmem"
@@ -84,13 +85,13 @@ func RunFig11(s Scale, w io.Writer) (Fig11Result, Report) {
 				panic(err)
 			}
 		}
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		for i := 0; i < actions; i++ {
 			if err := d.do(gen.Next()); err != nil {
 				panic(err)
 			}
 		}
-		wall := time.Since(start)
+		wall := sw.Elapsed()
 		r, wr, sc := latencies()
 		pm, sd, user := wa()
 		res.Systems = append(res.Systems, name)

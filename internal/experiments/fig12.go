@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/engine"
 	"pmblade/internal/matrixkv"
 	"pmblade/internal/pmem"
@@ -47,7 +47,7 @@ func (s matrixStore) ScanN(start []byte, n int) error {
 
 // runYCSB drives one workload phase and returns ops/sec.
 func runYCSB(store kvStore, w *ycsb.Workload, ops int) float64 {
-	start := time.Now()
+	sw := clock.NewStopwatch()
 	for i := 0; i < ops; i++ {
 		op := w.Next()
 		switch op.Kind {
@@ -72,7 +72,7 @@ func runYCSB(store kvStore, w *ycsb.Workload, ops int) float64 {
 			}
 		}
 	}
-	return float64(ops) / time.Since(start).Seconds()
+	return float64(ops) / sw.Elapsed().Seconds()
 }
 
 // RunFig12 reproduces Figure 12: YCSB Load + workloads A-F across PMBlade,

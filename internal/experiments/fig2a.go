@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/device"
 	"pmblade/internal/keyenc"
 	"pmblade/internal/kv"
@@ -55,16 +56,16 @@ func RunFig2a(s Scale, w io.Writer) (Fig2aResult, Report) {
 				}
 			}
 			runtime.GC()
-			sortStart := time.Now()
+			swSort := clock.NewStopwatch()
 			sort.Slice(entries, func(i, j int) bool { return kv.Compare(entries[i], entries[j]) < 0 })
-			st := time.Since(sortStart)
+			st := swSort.Elapsed()
 
 			runtime.GC()
-			writeStart := time.Now()
+			swWrite := clock.NewStopwatch()
 			if _, err := pmtable.Build(dev, entries, pmtable.FormatArray, 8, device.CauseFlush); err != nil {
 				panic(err)
 			}
-			wt := time.Since(writeStart)
+			wt := swWrite.Elapsed()
 			if rep == 0 || st < sortTime {
 				sortTime = st
 			}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/device"
 	"pmblade/internal/keyenc"
 	"pmblade/internal/kv"
@@ -66,7 +67,7 @@ func RunFig6a(s Scale, w io.Writer) (Fig6Result, Report) {
 		// Collect garbage from the previous build so its allocation debt is
 		// not charged to this structure's timing.
 		runtime.GC()
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		switch name {
 		case "SSTable":
 			dev := ssd.New(ssd.NVMeProfile)
@@ -96,7 +97,7 @@ func RunFig6a(s Scale, w io.Writer) (Fig6Result, Report) {
 				panic(err)
 			}
 		}
-		return time.Since(start)
+		return sw.Elapsed()
 	}
 
 	tw := newTabWriter(w)
@@ -183,11 +184,11 @@ func RunFig6b(s Scale, w io.Writer) (Fig6Result, Report) {
 				t := r.Table
 				get = func(k []byte) { t.Get(k, kv.MaxSeq) }
 			}
-			start := time.Now()
+			sw := clock.NewStopwatch()
 			for i := 0; i < probes; i++ {
 				get(entries[rng.Intn(len(entries))].Key)
 			}
-			res.ReadLatency[name] = append(res.ReadLatency[name], time.Since(start)/time.Duration(probes))
+			res.ReadLatency[name] = append(res.ReadLatency[name], sw.Elapsed()/time.Duration(probes))
 		}
 	}
 	for _, name := range structureNames {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/engine"
 	"pmblade/internal/histogram"
 )
@@ -63,11 +64,11 @@ func RunFig7a(s Scale, w io.Writer) (Fig7aResult, Report) {
 						panic(err)
 					}
 				} else {
-					start := time.Now()
+					sw := clock.NewStopwatch()
 					if _, _, err := db.Get(k); err != nil {
 						panic(err)
 					}
-					h.Record(time.Since(start))
+					h.Record(sw.Elapsed())
 				}
 			}
 			res.Latency[sys] = append(res.Latency[sys], h.Mean())
@@ -155,17 +156,17 @@ func RunFig7b(s Scale, w io.Writer) (Fig7bResult, Report) {
 			rng := rand.New(rand.NewSource(31))
 			for !stop.Load() {
 				k := []byte(fmt.Sprintf("key-%09d", rng.Intn(keyspace)))
-				start := time.Now()
+				sw := clock.NewStopwatch()
 				if _, _, err := db.Get(k); err != nil {
 					panic(err)
 				}
-				h.Record(time.Since(start))
+				h.Record(sw.Elapsed())
 			}
 		}()
 		if compact != nil {
 			compact()
 		} else {
-			time.Sleep(300 * time.Millisecond)
+			clock.Spin(300 * time.Millisecond)
 		}
 		stop.Store(true)
 		wg.Wait()

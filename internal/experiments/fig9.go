@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/sched"
 	"pmblade/internal/ssd"
 )
@@ -76,9 +77,9 @@ func RunFig9(s Scale, w io.Writer) (Fig9Result, Report) {
 				}
 				dev.Stats().ResetWindow()
 				dev.IOLatency().Reset()
-				start := time.Now()
+				sw := clock.NewStopwatch()
 				pool.Run(tasks)
-				wall := time.Since(start)
+				wall := sw.Elapsed()
 
 				cpuUtil := float64(pool.CPUBusy()) / (float64(wall) * workers)
 				ioUtil := float64(dev.Stats().BusyTime()) / (float64(wall) * float64(profile.Parallelism))

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/sched"
 	"pmblade/internal/ssd"
 )
@@ -25,9 +26,9 @@ func TestT3Debug(t *testing.T) {
 			tasks = append(tasks, compactionTask(dev, mergeRuns(4, 1200, int64(i+1)), sched.ModeThread))
 		}
 		dev.Stats().ResetWindow()
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		pool.Run(tasks)
-		wall := time.Since(start)
+		wall := sw.Elapsed()
 		fmt.Printf("threads=%d wall=%v cpuBusy=%v devBusy=%v\n",
 			threads, wall, pool.CPUBusy(), dev.Stats().BusyTime())
 	}

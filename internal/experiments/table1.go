@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/device"
 	"pmblade/internal/keyenc"
 	"pmblade/internal/kv"
@@ -109,9 +110,9 @@ func RunTable1(s Scale, w io.Writer) (Table1Result, Report) {
 				ti := rng.Intn(nTables)
 				ks := allKeys[ti]
 				k := ks[rng.Intn(len(ks))]
-				start := time.Now()
+				sw := clock.NewStopwatch()
 				find(k)
-				samples[i] = time.Since(start)
+				samples[i] = sw.Elapsed()
 			}
 			sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
 			return samples[len(samples)/2]

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/compaction"
 	"pmblade/internal/device"
 	"pmblade/internal/keyenc"
@@ -135,9 +136,9 @@ func RunTable3(s Scale, w io.Writer) (Table3Result, Report) {
 			tasks = append(tasks, compactionTask(dev, mergeRuns(4, perRun, int64(t+1)), sched.ModeThread))
 		}
 		dev.Stats().ResetWindow()
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		pool.Run(tasks)
-		wall := time.Since(start)
+		wall := sw.Elapsed()
 
 		if threads == 1 {
 			base = wall

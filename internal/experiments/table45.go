@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pmblade/internal/clock"
 	"pmblade/internal/engine"
 	"pmblade/internal/ycsb"
 )
@@ -141,11 +142,11 @@ func RunTable5(s Scale, w io.Writer) (Table5Result, Report) {
 		cfgPM.CostBased = false
 		cfgPM.L0TriggerTables = 1 << 30
 		dbPM := load(cfgPM)
-		start := time.Now()
+		sw := clock.NewStopwatch()
 		if err := dbPM.InternalCompactAll(); err != nil {
 			panic(err)
 		}
-		res.PMBlade = append(res.PMBlade, time.Since(start))
+		res.PMBlade = append(res.PMBlade, sw.Elapsed())
 		dbPM.Close()
 
 		// SSD compaction of the same volume (PMBlade-SSD level-0 -> run).
@@ -154,11 +155,11 @@ func RunTable5(s Scale, w io.Writer) (Table5Result, Report) {
 		})
 		cfgSSD.L0TriggerTables = 1 << 30
 		dbSSD := load(cfgSSD)
-		start = time.Now()
+		sw = clock.NewStopwatch()
 		if err := dbSSD.MajorCompactAll(); err != nil {
 			panic(err)
 		}
-		res.PMBladeSSD = append(res.PMBladeSSD, time.Since(start))
+		res.PMBladeSSD = append(res.PMBladeSSD, sw.Elapsed())
 		dbSSD.Close()
 
 		res.ValueSizes = append(res.ValueSizes, vs)

@@ -35,8 +35,8 @@ type Level0 struct {
 	cfg Config
 
 	mu       sync.RWMutex
-	unsorted []*pmtable.Table // newest first
-	sorted   []*pmtable.Table // ascending, non-overlapping
+	unsorted []*pmtable.Table // newest first; guarded by: mu
+	sorted   []*pmtable.Table // ascending, non-overlapping; guarded by: mu
 }
 
 // New creates an empty level-0 on dev.

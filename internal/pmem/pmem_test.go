@@ -38,7 +38,10 @@ func TestAllocOutOfSpace(t *testing.T) {
 
 func TestReleaseFreesAccounting(t *testing.T) {
 	d := New(1000, FastProfile)
-	a, _ := d.Alloc(600)
+	a, err := d.Alloc(600)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := d.Alloc(600); err != ErrOutOfSpace {
 		t.Fatal("should be full")
 	}
@@ -53,7 +56,10 @@ func TestReleaseFreesAccounting(t *testing.T) {
 
 func TestViewZeroCopy(t *testing.T) {
 	d := New(1<<20, FastProfile)
-	addr, _ := d.Alloc(64)
+	addr, err := d.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.WriteAt(addr, 0, []byte("abcdef"), device.CauseFlush); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +74,10 @@ func TestViewZeroCopy(t *testing.T) {
 
 func TestBoundsChecks(t *testing.T) {
 	d := New(1<<20, FastProfile)
-	addr, _ := d.Alloc(10)
+	addr, err := d.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.WriteAt(addr, 8, []byte("too long"), device.CauseFlush); err == nil {
 		// Note: region overrun beyond the arena is the hard boundary; writes
 		// within the arena but past a region succeed (like real PM). Only
@@ -76,7 +85,10 @@ func TestBoundsChecks(t *testing.T) {
 		t.Log("write beyond region allowed (arena not exceeded)")
 	}
 	big := New(100, FastProfile)
-	a2, _ := big.Alloc(50)
+	a2, err := big.Alloc(50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := big.ReadAt(a2, 60, make([]byte, 10), device.CauseClientRead); err == nil {
 		t.Fatal("read past arena must fail")
 	}
@@ -87,7 +99,10 @@ func TestBoundsChecks(t *testing.T) {
 
 func TestFlushPersistence(t *testing.T) {
 	d := New(1<<20, FastProfile)
-	addr, _ := d.Alloc(10)
+	addr, err := d.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Persisted(addr) {
 		t.Fatal("unflushed region must not be persisted")
 	}
@@ -102,9 +117,16 @@ func TestFlushPersistence(t *testing.T) {
 
 func TestStatsAttribution(t *testing.T) {
 	d := New(1<<20, FastProfile)
-	addr, _ := d.Alloc(1000)
-	_ = d.WriteAt(addr, 0, make([]byte, 500), device.CauseInternal)
-	_ = d.ReadAt(addr, 0, make([]byte, 200), device.CauseClientRead)
+	addr, err := d.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(addr, 0, make([]byte, 500), device.CauseInternal); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(addr, 0, make([]byte, 200), device.CauseClientRead); err != nil {
+		t.Fatal(err)
+	}
 	if d.Stats().WriteBytes(device.CauseInternal) != 500 {
 		t.Fatalf("internal write bytes = %d", d.Stats().WriteBytes(device.CauseInternal))
 	}
@@ -118,7 +140,10 @@ func TestStatsAttribution(t *testing.T) {
 
 func TestSizeOfRegion(t *testing.T) {
 	d := New(1<<20, FastProfile)
-	addr, _ := d.Alloc(77)
+	addr, err := d.Alloc(77)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Size(addr) != 77 {
 		t.Fatalf("Size = %d", d.Size(addr))
 	}

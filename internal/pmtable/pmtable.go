@@ -262,27 +262,16 @@ func Build(dev *pmem.Device, entries []kv.Entry, format Format, groupSize int, c
 }
 
 // Open reconstructs a table from its arena address (e.g. after restart).
+//
+// The whole-image checksum is verified before any byte of the image — header
+// included — is decoded: a torn or truncated table written by a crashed
+// process must be rejected here, not parsed (the crcbeforeuse analyzer
+// enforces this ordering).
 func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 	size := dev.Size(addr)
 	if size < 0 {
 		return nil, fmt.Errorf("pmtable: unknown region %d", addr)
 	}
-	hdrView, err := dev.View(addr, 0, int64(encodedHeaderSize), device.CauseClientRead)
-	if err != nil {
-		return nil, err
-	}
-	h, err := decodeHeader(hdrView)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		dev:    dev,
-		addr:   addr,
-		format: h.format,
-		count:  int(h.count),
-		size:   size,
-	}
-	// Verify the whole-image checksum before trusting any field.
 	if size < encodedHeaderSize+4 {
 		return nil, ErrCorrupt
 	}
@@ -296,6 +285,17 @@ func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 	}
 	if crc32.Checksum(img, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
 		return nil, fmt.Errorf("%w: image checksum", ErrCorrupt)
+	}
+	h, err := decodeHeader(img[:encodedHeaderSize])
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		dev:    dev,
+		addr:   addr,
+		format: h.format,
+		count:  int(h.count),
+		size:   size,
 	}
 	tail := int64(h.smallLen) + int64(h.largeLen) + int64(h.filterLen)
 	bodyLen := size - 4 - int64(encodedHeaderSize) - tail

@@ -2,9 +2,13 @@ package pmtable
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -375,5 +379,114 @@ func TestFormatStrings(t *testing.T) {
 		if f.String() != want {
 			t.Errorf("Format(%d).String() = %q want %q", f, f.String(), want)
 		}
+	}
+}
+
+// rebuildAt copies img into a fresh region and returns its address.
+func rebuildAt(t *testing.T, dev *pmem.Device, img []byte) pmem.Addr {
+	t.Helper()
+	addr, err := dev.Alloc(len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteAt(addr, 0, img, device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// imageOf builds a table and reads back its raw image bytes.
+func imageOf(t *testing.T, dev *pmem.Device, format Format) []byte {
+	t.Helper()
+	res, err := Build(dev, makeEntries(80, 17), format, 8, device.CauseFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, dev.Size(res.Table.Addr()))
+	if err := dev.ReadAt(res.Table.Addr(), 0, img, device.CauseClientRead); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestOpenRejectsTornTrailer flips one byte in each section of the image —
+// header, body, trailer (bounds/filter), and the CRC itself — and requires
+// Open to report ErrCorrupt for every position. This is the torn-write model:
+// PM writes are not atomic across cache lines, so any byte may be stale.
+func TestOpenRejectsTornTrailer(t *testing.T) {
+	dev := testDevice()
+	for _, format := range allFormats {
+		img := imageOf(t, dev, format)
+		// One offset per region of the image.
+		offsets := []int{
+			4,            // header (format byte)
+			len(img) / 2, // body
+			len(img) - 6, // trailer (filter bytes)
+			len(img) - 1, // stored CRC
+		}
+		for _, off := range offsets {
+			torn := append([]byte(nil), img...)
+			torn[off] ^= 0x01
+			addr := rebuildAt(t, dev, torn)
+			if _, err := Open(dev, addr); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%v: byte %d flipped: got err %v, want ErrCorrupt", format, off, err)
+			}
+			dev.Release(addr)
+		}
+	}
+}
+
+// TestOpenRejectsTruncatedBloomSection cuts the image just inside the filter
+// section (the CRC and part of the filter gone) — the shape left by a crash
+// mid-append. The whole-image checksum cannot match whatever bytes now sit at
+// the end, so Open must refuse rather than decode a partial filter.
+func TestOpenRejectsTruncatedBloomSection(t *testing.T) {
+	dev := testDevice()
+	img := imageOf(t, dev, FormatPrefix)
+	for _, cut := range []int{4, 12, 40} {
+		if cut+4 >= len(img) {
+			continue
+		}
+		addr := rebuildAt(t, dev, img[:len(img)-cut])
+		if _, err := Open(dev, addr); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut %d bytes: got err %v, want ErrCorrupt", cut, err)
+		}
+		dev.Release(addr)
+	}
+}
+
+// TestOpenRejectsInconsistentHeaderWithValidCRC corrupts the header's
+// smallestLen so the trailer no longer fits, then recomputes a matching CRC:
+// the checksum passes but the structural bounds check must still reject the
+// image (bodyLen would go negative).
+func TestOpenRejectsInconsistentHeaderWithValidCRC(t *testing.T) {
+	dev := testDevice()
+	img := imageOf(t, dev, FormatArray)
+	bad := append([]byte(nil), img...)
+	// smallLen lives at header offset 14 (magic 4 + format 1 + pad 1 + count 4
+	// + groupSize 4).
+	binary.LittleEndian.PutUint32(bad[14:18], uint32(len(bad)))
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.Checksum(bad[:len(bad)-4], castagnoli))
+	addr := rebuildAt(t, dev, bad)
+	if _, err := Open(dev, addr); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized smallLen with recomputed CRC: got err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOpenVerifiesBeforeDecodingHeader regression-tests the Open ordering: a
+// bad magic *and* a bad checksum must surface as the checksum error, proving
+// the CRC runs before decodeHeader looks at the magic.
+func TestOpenVerifiesBeforeDecodingHeader(t *testing.T) {
+	dev := testDevice()
+	img := imageOf(t, dev, FormatPrefix)
+	bad := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint32(bad[0:4], 0xDEADBEEF) // clobber magic, CRC now stale
+	addr := rebuildAt(t, dev, bad)
+	_, err := Open(dev, addr)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got err %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "image checksum") {
+		t.Errorf("err %q should be the checksum failure, not a header decode failure", err)
 	}
 }

@@ -34,7 +34,11 @@ func TestAllModesCompleteAllTasks(t *testing.T) {
 					for j := 0; j < 3; j++ {
 						ctx.Read(func() { _ = dev.Size(f) })
 						ctx.Compute(func() { busyWork(100 * time.Microsecond) })
-						ctx.Write(func() { _, _ = dev.Append(f, []byte("block"), device.CauseMajor) })
+						ctx.Write(func() {
+							if _, err := dev.Append(f, []byte("block"), device.CauseMajor); err != nil {
+								t.Error(err)
+							}
+						})
 					}
 					done.Add(1)
 				})
@@ -60,7 +64,11 @@ func TestWritesOrderedPerCtx(t *testing.T) {
 	p.Run([]Task{func(ctx *Ctx) {
 		for i := byte(0); i < 50; i++ {
 			i := i
-			ctx.Write(func() { _, _ = dev.Append(f, []byte{i}, device.CauseMajor) })
+			ctx.Write(func() {
+				if _, err := dev.Append(f, []byte{i}, device.CauseMajor); err != nil {
+					t.Error(err)
+				}
+			})
 		}
 		ctx.Drain()
 	}})
@@ -142,7 +150,11 @@ func TestPMBladeOverlapsComputeAndWrites(t *testing.T) {
 		p.Run([]Task{func(ctx *Ctx) {
 			for i := 0; i < 5; i++ {
 				ctx.Compute(func() { busyWork(200 * time.Microsecond) })
-				ctx.Write(func() { _, _ = dev.Append(f, []byte("b"), device.CauseMajor) })
+				ctx.Write(func() {
+					if _, err := dev.Append(f, []byte("b"), device.CauseMajor); err != nil {
+						t.Error(err)
+					}
+				})
 			}
 			computeDone = time.Since(start)
 		}})
@@ -164,7 +176,11 @@ func TestAdmissionDoesNotDeadlock(t *testing.T) {
 	go func() {
 		p.Run([]Task{func(ctx *Ctx) {
 			for i := 0; i < 10; i++ {
-				ctx.Write(func() { _, _ = dev.Append(f, []byte("x"), device.CauseMajor) })
+				ctx.Write(func() {
+					if _, err := dev.Append(f, []byte("x"), device.CauseMajor); err != nil {
+						t.Error(err)
+					}
+				})
 			}
 			ctx.Drain()
 		}})
@@ -214,13 +230,17 @@ func TestAdmissionDefersWritesUnderClientLoad(t *testing.T) {
 		go func() {
 			defer cli.Done()
 			buf := make([]byte, 1)
-			_, _ = dev.Append(f, []byte("x"), device.CauseClientWrite)
+			if _, err := dev.Append(f, []byte("x"), device.CauseClientWrite); err != nil {
+				t.Error(err)
+			}
 			for {
 				select {
 				case <-stop:
 					return
 				default:
-					_ = dev.ReadAt(f, 0, buf, device.CauseClientRead)
+					if err := dev.ReadAt(f, 0, buf, device.CauseClientRead); err != nil {
+						t.Error(err)
+					}
 				}
 			}
 		}()
@@ -235,7 +255,9 @@ func TestAdmissionDefersWritesUnderClientLoad(t *testing.T) {
 	start := time.Now()
 	go p.Run([]Task{func(ctx *Ctx) {
 		ctx.Write(func() {
-			_, _ = dev.Append(f, []byte("deferred"), device.CauseMajor)
+			if _, err := dev.Append(f, []byte("deferred"), device.CauseMajor); err != nil {
+				t.Error(err)
+			}
 		})
 		ctx.Drain()
 		writeDone <- time.Since(start)

@@ -35,7 +35,9 @@ func TestCreateAppendRead(t *testing.T) {
 func TestReadBounds(t *testing.T) {
 	d := New(FastProfile)
 	f := d.Create()
-	_, _ = d.Append(f, []byte("abc"), device.CauseFlush)
+	if _, err := d.Append(f, []byte("abc"), device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
 	if err := d.ReadAt(f, 2, make([]byte, 5), device.CauseClientRead); err == nil {
 		t.Fatal("read past EOF must fail")
 	}
@@ -63,7 +65,9 @@ func TestUnknownFile(t *testing.T) {
 func TestDeleteFreesSpace(t *testing.T) {
 	d := New(FastProfile)
 	f := d.Create()
-	_, _ = d.Append(f, make([]byte, 1000), device.CauseFlush)
+	if _, err := d.Append(f, make([]byte, 1000), device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
 	if d.UsedBytes() != 1000 {
 		t.Fatalf("used = %d", d.UsedBytes())
 	}
@@ -85,7 +89,9 @@ func TestLatencyGrowsWithContention(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = d.Append(f, []byte("x"), device.CauseMajor)
+			if _, err := d.Append(f, []byte("x"), device.CauseMajor); err != nil {
+				t.Fatal(err)
+			}
 		}()
 	}
 	wg.Wait()
@@ -104,7 +110,9 @@ func TestBusyTimeAccrues(t *testing.T) {
 	d := New(p)
 	f := d.Create()
 	for i := 0; i < 5; i++ {
-		_, _ = d.Append(f, []byte("x"), device.CauseFlush)
+		if _, err := d.Append(f, []byte("x"), device.CauseFlush); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if busy := d.Stats().BusyTime(); busy < 5*time.Millisecond {
 		t.Fatalf("busy time %v < 5ms", busy)
@@ -114,7 +122,9 @@ func TestBusyTimeAccrues(t *testing.T) {
 func TestQueueDepthReturnsToZero(t *testing.T) {
 	d := New(FastProfile)
 	f := d.Create()
-	_, _ = d.Append(f, []byte("x"), device.CauseFlush)
+	if _, err := d.Append(f, []byte("x"), device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
 	if qd := d.QueueDepth(); qd != 0 {
 		t.Fatalf("queue depth = %d after quiesce", qd)
 	}
@@ -123,8 +133,12 @@ func TestQueueDepthReturnsToZero(t *testing.T) {
 func TestWriteAttribution(t *testing.T) {
 	d := New(FastProfile)
 	f := d.Create()
-	_, _ = d.Append(f, make([]byte, 100), device.CauseMajor)
-	_, _ = d.Append(f, make([]byte, 50), device.CauseWAL)
+	if _, err := d.Append(f, make([]byte, 100), device.CauseMajor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(f, make([]byte, 50), device.CauseWAL); err != nil {
+		t.Fatal(err)
+	}
 	if d.Stats().WriteBytes(device.CauseMajor) != 100 {
 		t.Fatal("major bytes wrong")
 	}

@@ -28,8 +28,8 @@ type Writer struct {
 	file ssd.FileID
 
 	mu     sync.Mutex
-	buf    []byte
-	closed bool
+	buf    []byte // guarded by: mu
+	closed bool   // guarded by: mu
 }
 
 // NewWriter creates a fresh log file on dev.
