@@ -3,7 +3,7 @@
 GO ?= go
 VET_BIN := $(CURDIR)/bin/pmblade-vet
 
-.PHONY: build test race vet pmblade-vet verify clean
+.PHONY: build test race vet pmblade-vet crash verify clean
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,15 @@ pmblade-vet:
 	$(GO) build -o $(VET_BIN) ./cmd/pmblade-vet
 	$(GO) vet -vettool=$(VET_BIN) ./...
 
+# Crash-point torture matrix: exhaustive enumeration on two seeds plus a
+# checkpoint-heavy run. Any failure prints its -seed/-ops/-point reproduction.
+crash:
+	$(GO) run ./cmd/pmblade-crash -seed 1 -ops 1000 -q
+	$(GO) run ./cmd/pmblade-crash -seed 42 -ops 400 -checkpoint-every -1 -q
+	$(GO) run ./cmd/pmblade-crash -seed 99 -ops 300 -checkpoint-every 10 -q
+
 # verify is the pre-merge gate: everything CI checks, in one target.
-verify: build vet pmblade-vet race
+verify: build vet pmblade-vet race crash
 
 clean:
 	rm -rf bin

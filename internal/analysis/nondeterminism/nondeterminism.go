@@ -25,7 +25,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "nondeterminism",
 	Doc: "forbid time.Now/math/rand globals in the deterministic packages " +
-		"(costmodel, compaction, experiments); inject internal/clock or a seeded rand.Rand",
+		"(costmodel, compaction, experiments, device, fault); inject internal/clock or a seeded rand.Rand",
 	Run: run,
 }
 
@@ -34,6 +34,11 @@ var scoped = []string{
 	"internal/costmodel",
 	"internal/compaction",
 	"internal/experiments",
+	// The device-stats accounting and the fault-injection layer must be
+	// reproducible from a seed: crash-point enumeration replays a workload
+	// and requires the identical device-op sequence on every pass.
+	"internal/device",
+	"internal/fault",
 }
 
 var bannedTime = map[string]bool{

@@ -6,8 +6,11 @@
 package device
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"pmblade/internal/clock"
 )
 
 // Cause labels the reason for an I/O so write amplification can be broken
@@ -25,6 +28,7 @@ const (
 	CauseLeveled     // leveled compaction between SSD levels (RocksDB mode)
 	CauseClientRead  // foreground reads
 	CauseClientWrite // foreground writes (direct device writes, if any)
+	CauseManifest    // manifest (recovery metadata) writes
 	numCauses
 )
 
@@ -45,6 +49,8 @@ func (c Cause) String() string {
 		return "read"
 	case CauseClientWrite:
 		return "write"
+	case CauseManifest:
+		return "manifest"
 	default:
 		return "unknown"
 	}
@@ -59,11 +65,13 @@ type Stats struct {
 	writeOps   [numCauses]atomic.Int64
 
 	busyNanos atomic.Int64 // total device-busy time (for utilization)
-	opened    time.Time
+
+	openedMu sync.Mutex
+	opened   clock.Stopwatch // utilization window; guarded by: openedMu
 }
 
 // NewStats returns zeroed stats with the utilization window starting now.
-func NewStats() *Stats { return &Stats{opened: time.Now()} }
+func NewStats() *Stats { return &Stats{opened: clock.NewStopwatch()} }
 
 // CountRead records a read of n bytes for cause c.
 func (s *Stats) CountRead(c Cause, n int) {
@@ -117,7 +125,9 @@ func (s *Stats) BusyTime() time.Duration { return time.Duration(s.busyNanos.Load
 // (or construction), in [0, 1] for a device with parallelism 1; devices with
 // internal parallelism may exceed 1 and callers divide by parallelism.
 func (s *Stats) Utilization() float64 {
-	wall := time.Since(s.opened)
+	s.openedMu.Lock()
+	wall := s.opened.Elapsed()
+	s.openedMu.Unlock()
 	if wall <= 0 {
 		return 0
 	}
@@ -127,7 +137,9 @@ func (s *Stats) Utilization() float64 {
 // ResetWindow restarts the utilization window and clears busy time. Byte
 // counters are preserved.
 func (s *Stats) ResetWindow() {
-	s.opened = time.Now()
+	s.openedMu.Lock()
+	s.opened = clock.NewStopwatch()
+	s.openedMu.Unlock()
 	s.busyNanos.Store(0)
 }
 

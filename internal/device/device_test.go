@@ -3,6 +3,8 @@ package device
 import (
 	"testing"
 	"time"
+
+	"pmblade/internal/clock"
 )
 
 func TestCountersPerCause(t *testing.T) {
@@ -35,7 +37,7 @@ func TestBusyAndUtilization(t *testing.T) {
 	if s.BusyTime() != 5*time.Millisecond {
 		t.Fatalf("busy = %v", s.BusyTime())
 	}
-	time.Sleep(2 * time.Millisecond)
+	clock.Spin(2 * time.Millisecond)
 	if u := s.Utilization(); u <= 0 {
 		t.Fatalf("utilization = %v", u)
 	}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"time"
 
+	"pmblade/internal/fault"
 	"pmblade/internal/kv"
 )
 
@@ -86,11 +88,23 @@ func (db *DB) committer() {
 			}
 		}
 		db.walMu.Lock()
-		_, err := db.wal.AppendBatches(batches)
+		// Transient device faults are retried with bounded backoff. Anything
+		// else — torn append, permanent failure, power cut — must NOT be
+		// retried: re-appending after a torn record would bury it behind
+		// garbage the replay scan cannot cross, silently orphaning every
+		// later record. Instead the engine degrades: this group fails, and
+		// the sticky error fails all future writes while reads stay up.
+		err := db.retryDurable(func() error {
+			_, e := db.wal.AppendBatches(batches)
+			return e
+		})
 		if err == nil {
-			err = db.wal.Sync()
+			err = db.retryDurable(func() error { return db.wal.Sync() })
 		}
 		db.walMu.Unlock()
+		if err != nil && !fault.IsTransient(err) {
+			db.setBgErr(fmt.Errorf("engine: WAL degraded, writes disabled: %w", err))
+		}
 		db.metrics.WALCommitCount.Add(1)
 		db.metrics.WALCommitBatches.Add(int64(len(batches)))
 		var n int64

@@ -80,8 +80,30 @@ func (db *DB) globalCompactionCheck() error {
 				return err
 			}
 		}
+		return db.gcAfterMajorLocked()
 	}
 	return nil
+}
+
+// gcAfterMajorLocked installs a manifest and frees the tables the preceding
+// major compactions retired, so eviction actually returns PM (and SSD) space
+// rather than leaving it queued until the next checkpoint. Callers hold
+// majorMu and no maint locks. Without a WAL retirement was immediate and
+// there is no manifest, so this is a no-op.
+//
+//pmblade:holds majorMu
+func (db *DB) gcAfterMajorLocked() error {
+	if db.cfg.DisableWAL {
+		return nil
+	}
+	for _, p := range db.partitions {
+		p.maint.Lock()
+	}
+	_, err := db.saveManifestLocked(0)
+	for i := len(db.partitions) - 1; i >= 0; i-- {
+		db.partitions[i].maint.Unlock()
+	}
+	return err
 }
 
 // partitionCostState assembles the Table II observations for the cost model.
@@ -160,7 +182,7 @@ func (db *DB) majorCompactEvict() error {
 			return err
 		}
 	}
-	return nil
+	return db.gcAfterMajorLocked()
 }
 
 // majorCompactPartition compacts p's entire PM level-0 together with the
@@ -213,13 +235,11 @@ func (db *DB) majorCompactPartition(p *partition) error {
 		return err
 	}
 
-	// Install the new run, then retire inputs.
+	// Install the new run, then retire inputs. Disposal is deferred until the
+	// next manifest install when a WAL is in use (see DB.retireSST).
 	p.run.Replace(oldRun, newTables)
 	for _, t := range oldRun {
-		if db.cache != nil {
-			db.cache.DropFile(t.File())
-		}
-		t.Delete()
+		db.retireSST(t)
 	}
 	p.l0.Evict()
 	db.metrics.MajorCount.Add(1)
@@ -266,10 +286,7 @@ func (db *DB) majorCompactSSDPartition(p *partition) error {
 	p.run.Replace(oldRun, newTables)
 	p.clearL0SSD(l0)
 	for _, t := range append(l0, oldRun...) {
-		if db.cache != nil {
-			db.cache.DropFile(t.File())
-		}
-		t.Delete()
+		db.retireSST(t)
 	}
 	db.metrics.MajorCount.Add(1)
 	resetPartitionStats(p)
@@ -435,10 +452,7 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 		p.leveled.Run(level).Replace(inputs, nil)
 	}
 	for _, t := range all {
-		if db.cache != nil {
-			db.cache.DropFile(t.File())
-		}
-		t.Delete()
+		db.retireSST(t)
 	}
 	db.metrics.MajorCount.Add(1)
 	return nil
@@ -464,7 +478,13 @@ func (db *DB) InternalCompactAll() error {
 			return err
 		}
 	}
-	return nil
+	if db.cfg.DisableWAL {
+		return nil
+	}
+	db.lockAll()
+	_, err := db.saveManifestLocked(0)
+	db.unlockAll()
+	return err
 }
 
 // MajorCompactAll forces a major compaction of every partition's level-0.
@@ -487,5 +507,5 @@ func (db *DB) MajorCompactAll() error {
 			return err
 		}
 	}
-	return nil
+	return db.gcAfterMajorLocked()
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pmblade/internal/costmodel"
+	"pmblade/internal/fault"
 	"pmblade/internal/pmem"
 	"pmblade/internal/pmtable"
 	"pmblade/internal/sched"
@@ -99,6 +100,18 @@ type Config struct {
 	// slower; the experiments use it so the timing-sensitive cost-model
 	// decisions (Eq. 1-3) do not depend on goroutine scheduling.
 	SyncFlush bool
+
+	// FaultInjector, when set, is attached to both devices at Open/Recover
+	// (faultkit). nil disables fault injection.
+	FaultInjector *fault.Injector
+	// FaultRetries bounds the retry attempts for transient device failures
+	// on the durability paths (WAL commit, flush, manifest install). The
+	// zero value means the default of 3; negative disables retries.
+	FaultRetries int
+	// FaultRetryBackoff is the base delay between retries, doubled per
+	// attempt and waited deterministically via internal/clock. The zero
+	// value means the default of 100µs.
+	FaultRetryBackoff time.Duration
 }
 
 // mode returns a short name for logs.
@@ -153,6 +166,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxImmutables == 0 {
 		c.MaxImmutables = 4
+	}
+	if c.FaultRetries == 0 {
+		c.FaultRetries = 3
+	}
+	if c.FaultRetryBackoff == 0 {
+		c.FaultRetryBackoff = 100 * time.Microsecond
 	}
 	if c.Cost == (costmodel.Params{}) {
 		c.Cost = DefaultCostParams(c.PMCapacity, len(c.PartitionBoundaries)+1)

@@ -8,11 +8,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmblade/internal/clock"
+	"pmblade/internal/fault"
 	"pmblade/internal/kv"
 	"pmblade/internal/level0"
 	"pmblade/internal/levels"
 	"pmblade/internal/memtable"
 	"pmblade/internal/pmem"
+	"pmblade/internal/pmtable"
 	"pmblade/internal/sched"
 	"pmblade/internal/ssd"
 	"pmblade/internal/sstable"
@@ -69,11 +72,27 @@ type DB struct {
 	// return it (the pipeline is considered wedged).
 	bgErr atomic.Pointer[error]
 
+	// manifestCur/manifestPrev track the installed manifest chain so the
+	// previous manifest survives as a recovery fallback while older ones
+	// are deleted. Mutated only under lockAll (or single-threaded
+	// Open/Recover); zero means none.
+	manifestCur  ssd.FileID
+	manifestPrev ssd.FileID
+
 	// flushes counts scheduled-but-unfinished background flush tasks;
 	// flushesCv signals when it reaches zero (drainFlushes).
 	flushesMu sync.Mutex
 	flushes   int // guarded by: flushesMu
 	flushesCv *sync.Cond
+
+	// Obsolete tables replaced by compaction whose space cannot be reclaimed
+	// yet: the durable manifest may still reference them, and recovery must
+	// be able to reopen everything the manifest names. They are freed by
+	// dropObsoleteLocked after the next manifest install. Only populated when
+	// a WAL (and therefore a manifest) is in use.
+	obsoleteMu  sync.Mutex
+	obsoletePM  []*pmtable.Table // guarded by: obsoleteMu
+	obsoleteSSD []*sstable.Table // guarded by: obsoleteMu
 }
 
 // partition is one range partition's LSM column.
@@ -155,6 +174,12 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.Level0OnPM {
 		db.pm = pmem.New(cfg.PMCapacity, cfg.PMProfile)
 	}
+	if cfg.FaultInjector != nil {
+		db.ssd.SetFault(cfg.FaultInjector)
+		if db.pm != nil {
+			db.pm.SetFault(cfg.FaultInjector)
+		}
+	}
 	if cfg.BlockCacheBytes > 0 {
 		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
 	}
@@ -181,14 +206,41 @@ func Open(cfg Config) (*DB, error) {
 					Format:          cfg.PMTableFormat,
 					GroupSize:       cfg.GroupSize,
 					TargetTableSize: cfg.L0TableBytes,
+					Retire:          db.retirePM,
 				})
 			}
 		}
 		p.statsSince.Store(time.Now().UnixNano())
 		db.partitions = append(db.partitions, p)
 	}
+	// Install the initial manifest before any write can be acknowledged, so
+	// a power cut at any later instant finds a recoverable root. Without a
+	// WAL nothing survives a crash anyway, so the manifest is skipped.
+	if !cfg.DisableWAL {
+		db.lockAll()
+		_, err := db.saveManifestLocked(0)
+		db.unlockAll()
+		if err != nil {
+			return nil, fmt.Errorf("engine: install initial manifest: %w", err)
+		}
+	}
 	db.startPipeline()
 	return db, nil
+}
+
+// retryDurable runs op, retrying transient injected faults (fault.IsTransient)
+// up to cfg.FaultRetries times with deterministic exponential backoff. Any
+// other error — including a torn write, which must never be blindly repeated
+// on an append-ordered device — is returned as-is on the first occurrence.
+func (db *DB) retryDurable(op func() error) error {
+	backoff := db.cfg.FaultRetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !fault.IsTransient(err) || attempt >= db.cfg.FaultRetries {
+			return err
+		}
+		clock.Spin(backoff << uint(attempt))
+	}
 }
 
 // startPipeline initializes the asynchronous write machinery: flush-drain
@@ -238,6 +290,55 @@ func (db *DB) loadBgErr() error {
 		return *e
 	}
 	return nil
+}
+
+// retirePM disposes a PM table that compaction replaced. With a WAL the
+// release is deferred: the durable manifest may still reference the table,
+// and recovery from a crash before the next manifest install must be able to
+// reopen it. Without a WAL nothing survives a crash, so it frees immediately.
+func (db *DB) retirePM(t *pmtable.Table) {
+	if db.cfg.DisableWAL {
+		t.Release()
+		return
+	}
+	db.obsoleteMu.Lock()
+	db.obsoletePM = append(db.obsoletePM, t)
+	db.obsoleteMu.Unlock()
+}
+
+// retireSST disposes an SSTable that compaction replaced; see retirePM for
+// the deferral rationale. Cached blocks are dropped immediately — the table
+// left the live set, so they will not be read through it again.
+func (db *DB) retireSST(t *sstable.Table) {
+	if db.cache != nil {
+		db.cache.DropFile(t.File())
+	}
+	if db.cfg.DisableWAL {
+		t.Delete()
+		return
+	}
+	db.obsoleteMu.Lock()
+	db.obsoleteSSD = append(db.obsoleteSSD, t)
+	db.obsoleteMu.Unlock()
+}
+
+// dropObsoleteLocked frees every queued obsolete table. Callers hold every
+// maintenance lock and have just durably installed a manifest, so no manifest
+// reachable by recovery references the queued tables any more. (The previous
+// manifest, kept as a fallback, may — that fallback is only consulted if the
+// freshly synced current manifest is unreadable, which the install protocol
+// prevents.)
+func (db *DB) dropObsoleteLocked() {
+	db.obsoleteMu.Lock()
+	pmQ, ssdQ := db.obsoletePM, db.obsoleteSSD
+	db.obsoletePM, db.obsoleteSSD = nil, nil
+	db.obsoleteMu.Unlock()
+	for _, t := range pmQ {
+		t.Release()
+	}
+	for _, t := range ssdQ {
+		t.Delete()
+	}
 }
 
 // drainFlushes blocks until no background flush task is queued or running.

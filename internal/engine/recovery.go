@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"sort"
 	"time"
 
 	"pmblade/internal/device"
@@ -19,12 +22,19 @@ import (
 )
 
 // Manifest is the durable description of the engine's structure: which PM
-// tables and SSTables make up each partition, plus the WAL position. It is
-// written to a dedicated SSD file after every structural change, so a
-// restart can rebuild the exact table sets and replay the WAL on top.
+// tables and SSTables make up each partition, plus the live WAL files. It is
+// written to a dedicated SSD file after every structural change and installed
+// under the RootManifest pointer (the simulated rename of CURRENT), so a
+// restart can rebuild the exact table sets and replay the WALs on top.
 type Manifest struct {
-	Seq        uint64         `json:"seq"`
-	WALFile    uint64         `json:"wal_file"`
+	Seq uint64 `json:"seq"`
+	// WALFiles are the live logs in replay order (oldest first). During a
+	// checkpoint both the retiring and the fresh WAL are listed, so a crash
+	// mid-checkpoint loses nothing.
+	WALFiles []uint64 `json:"wal_files"`
+	// WALFile is the legacy single-log field, kept for readability of dumps;
+	// recovery uses WALFiles.
+	WALFile    uint64         `json:"wal_file,omitempty"`
 	Partitions []PartManifest `json:"partitions"`
 }
 
@@ -35,6 +45,63 @@ type PartManifest struct {
 	L0SSD      []uint64   `json:"l0_ssd"`      // SSTable files, newest first
 	Run        []uint64   `json:"run"`         // level-1 run files, ascending
 	Levels     [][]uint64 `json:"levels"`      // RocksDB mode: runs per level
+}
+
+// RootManifest is the device root-pointer name under which the current
+// manifest is installed (the CURRENT file of a conventional LSM engine).
+const RootManifest = "MANIFEST"
+
+// manifestMagic heads every manifest file so recovery can identify manifest
+// candidates among the device's files without external bookkeeping.
+const manifestMagic = "PMBMF1\r\n"
+
+var manifestCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeManifest frames m as magic(8) | crc(4) | len(4) | json, so a torn or
+// partial manifest write is detected (and rejected) during recovery.
+func encodeManifest(m Manifest) ([]byte, error) {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(raw)+16)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(raw, manifestCRC))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(raw)))
+	return append(buf, raw...), nil
+}
+
+// readManifest loads and verifies a framed manifest file. The frame checksum
+// is verified before any byte of the payload is decoded.
+func readManifest(sd *ssd.Device, f ssd.FileID) (Manifest, error) {
+	size := sd.Size(f)
+	if size < 0 {
+		return Manifest{}, fmt.Errorf("engine: manifest file %d missing", f)
+	}
+	if size < 16 {
+		return Manifest{}, fmt.Errorf("engine: manifest file %d truncated (%d bytes)", f, size)
+	}
+	raw := make([]byte, size)
+	if err := sd.ReadAt(f, 0, raw, device.CauseManifest); err != nil {
+		return Manifest{}, err
+	}
+	if string(raw[:8]) != manifestMagic {
+		return Manifest{}, fmt.Errorf("engine: manifest file %d: bad magic", f)
+	}
+	crc := binary.LittleEndian.Uint32(raw[8:12])
+	plen := int64(binary.LittleEndian.Uint32(raw[12:16]))
+	if 16+plen > size {
+		return Manifest{}, fmt.Errorf("engine: manifest file %d torn (%d of %d payload bytes)", f, size-16, plen)
+	}
+	payload := raw[16 : 16+plen]
+	if crc32.Checksum(payload, manifestCRC) != crc {
+		return Manifest{}, fmt.Errorf("engine: manifest file %d: checksum mismatch", f)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Manifest{}, fmt.Errorf("engine: manifest corrupt: %w", err)
+	}
+	return m, nil
 }
 
 // lockAll acquires every maintenance lock (majorMu, then each partition's
@@ -55,13 +122,22 @@ func (db *DB) unlockAll() {
 	db.majorMu.Unlock()
 }
 
-// buildManifest snapshots the current structure. Callers hold every
-// maintenance lock (lockAll) so the snapshot is consistent.
-func (db *DB) buildManifest() Manifest {
+// buildManifest snapshots the current structure. extraWAL, when non-zero, is
+// a retiring log listed ahead of the current one (checkpoint in flight).
+// Callers hold every maintenance lock (lockAll) so the snapshot is
+// consistent.
+func (db *DB) buildManifest(extraWAL uint64) Manifest {
 	m := Manifest{Seq: db.seq.Load()}
-	if db.wal != nil {
-		m.WALFile = uint64(db.wal.File())
+	if extraWAL != 0 {
+		m.WALFiles = append(m.WALFiles, extraWAL)
 	}
+	db.walMu.Lock()
+	if db.wal != nil {
+		cur := uint64(db.wal.File())
+		m.WALFiles = append(m.WALFiles, cur)
+		m.WALFile = cur
+	}
+	db.walMu.Unlock()
 	for _, p := range db.partitions {
 		var pm PartManifest
 		if p.l0 != nil {
@@ -99,48 +175,82 @@ func (db *DB) buildManifest() Manifest {
 	return m
 }
 
-// SaveManifest persists the current structure to a fresh SSD file and
-// returns its id. The previous manifest file, if any, is replaced.
+// SaveManifest persists the current structure to a fresh SSD file, installs
+// it under the RootManifest pointer, and returns its id. The manifest before
+// the previous one is deleted; the previous one is retained as the recovery
+// fallback.
 func (db *DB) SaveManifest() (ssd.FileID, error) {
 	db.drainFlushes()
 	db.lockAll()
 	defer db.unlockAll()
-	return db.saveManifestLocked()
+	return db.saveManifestLocked(0)
 }
 
-func (db *DB) saveManifestLocked() (ssd.FileID, error) {
-	m := db.buildManifest()
-	raw, err := json.Marshal(m)
+// saveManifestLocked writes and durably installs a manifest. Callers hold
+// lockAll (or are single-threaded during Open/Recover). The write path is
+// sync-then-rename: the manifest file is fully synced before the root
+// pointer moves, so the installed root always names an intact manifest.
+func (db *DB) saveManifestLocked(extraWAL uint64) (ssd.FileID, error) {
+	m := db.buildManifest(extraWAL)
+	raw, err := encodeManifest(m)
 	if err != nil {
 		return 0, err
 	}
 	f := db.ssd.Create()
-	if _, err := db.ssd.Append(f, raw, device.CauseFlush); err != nil {
+	if err := db.retryDurable(func() error {
+		_, e := db.ssd.Append(f, raw, device.CauseManifest)
+		return e
+	}); err != nil {
 		return 0, err
 	}
-	if err := db.ssd.Sync(f); err != nil {
+	if err := db.retryDurable(func() error { return db.ssd.Sync(f) }); err != nil {
 		return 0, err
 	}
+	if err := db.ssd.SetRoot(RootManifest, f); err != nil {
+		return 0, err
+	}
+	// Prune the chain: keep the new manifest and its predecessor (fallback),
+	// drop the one before that.
+	if db.manifestPrev != 0 {
+		db.ssd.Delete(db.manifestPrev)
+	}
+	db.manifestPrev = db.manifestCur
+	db.manifestCur = f
+	// The new durable manifest references none of the tables compaction has
+	// retired since the last install; their space can finally be reclaimed.
+	db.dropObsoleteLocked()
 	return f, nil
 }
 
-// Checkpoint makes the current state durable and bounds recovery work. The
-// WAL is rotated first, behind the write gate, so every entry in the old log
-// is already in a memtable; FlushAll then pushes those memtables to level-0;
-// the manifest (now covering everything the old log held) is persisted; only
-// then is the old log deleted. Recovery from the returned manifest replays
-// at most the writes that arrived after the rotation.
+// Checkpoint makes the current state durable and bounds recovery work.
+//
+// Crash-consistency protocol (DESIGN.md §5.4): the WAL is rotated behind the
+// write gate and a bridging manifest listing BOTH logs is installed before
+// any writer can commit to the fresh log — a crash at any instant therefore
+// finds a durable manifest covering every acknowledged write. FlushAll then
+// pushes the old log's memtables to level-0, a second manifest drops the old
+// log from the live set, and only then is the old log deleted.
 func (db *DB) Checkpoint() (ssd.FileID, error) {
 	var old *wal.Writer
 	if db.wal != nil {
 		// The write gate waits out writers that committed to the old log but
 		// have not yet reached their memtable; after it, memtables cover the
-		// old log completely.
+		// old log completely and nothing has landed in the new one yet.
 		db.opGate.Lock()
 		db.walMu.Lock()
 		old = db.wal
 		db.wal = wal.NewWriter(db.ssd)
 		db.walMu.Unlock()
+		// Bridge manifest: both logs live. Installed before the gate opens so
+		// no write can be acknowledged into a log no manifest knows about.
+		db.drainFlushes()
+		db.lockAll()
+		_, err := db.saveManifestLocked(uint64(old.File()))
+		db.unlockAll()
+		if err != nil {
+			db.opGate.Unlock()
+			return 0, err
+		}
 		db.opGate.Unlock()
 	}
 	if err := db.FlushAll(); err != nil {
@@ -148,7 +258,7 @@ func (db *DB) Checkpoint() (ssd.FileID, error) {
 	}
 	db.drainFlushes()
 	db.lockAll()
-	mf, err := db.saveManifestLocked()
+	mf, err := db.saveManifestLocked(0)
 	db.unlockAll()
 	if err != nil {
 		return 0, err
@@ -160,30 +270,95 @@ func (db *DB) Checkpoint() (ssd.FileID, error) {
 	return mf, nil
 }
 
+// manifestCandidates lists manifest files to attempt recovery from: the
+// installed root first, then every other intact manifest on the device in
+// descending (seq, file-id) order.
+func manifestCandidates(sd *ssd.Device) []ssd.FileID {
+	var out []ssd.FileID
+	seen := make(map[ssd.FileID]bool)
+	if id, ok := sd.Root(RootManifest); ok {
+		out = append(out, id)
+		seen[id] = true
+	}
+	type cand struct {
+		id  ssd.FileID
+		seq uint64
+	}
+	var scanned []cand
+	head := make([]byte, 8)
+	for _, id := range sd.Files() {
+		if seen[id] || sd.Size(id) < 16 {
+			continue
+		}
+		if err := sd.ReadAt(id, 0, head, device.CauseManifest); err != nil || string(head) != manifestMagic {
+			continue
+		}
+		m, err := readManifest(sd, id)
+		if err != nil {
+			continue
+		}
+		scanned = append(scanned, cand{id, m.Seq})
+	}
+	sort.Slice(scanned, func(i, j int) bool {
+		if scanned[i].seq != scanned[j].seq {
+			return scanned[i].seq > scanned[j].seq
+		}
+		return scanned[i].id > scanned[j].id
+	})
+	for _, c := range scanned {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// RecoverCurrent rebuilds an engine over existing devices from the installed
+// manifest root, falling back to the previous intact manifest if the current
+// one is torn, missing, or references unreadable state. This is the restart
+// entry point after a power cut.
+func RecoverCurrent(cfg Config, pm *pmem.Device, sd *ssd.Device) (*DB, error) {
+	cands := manifestCandidates(sd)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("engine: no manifest on device (root %q unset and no intact candidates)", RootManifest)
+	}
+	var lastErr error
+	for _, id := range cands {
+		db, err := Recover(cfg, pm, sd, id)
+		if err == nil {
+			return db, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("engine: no recoverable manifest among %d candidates: %w", len(cands), lastErr)
+}
+
 // Recover rebuilds an engine over existing devices from a saved manifest:
-// PM tables and SSTables are reopened in place and the WAL is replayed into
-// the memtables. Config must match the one the data was written with.
+// PM tables and SSTables are reopened in place and the live WALs are
+// replayed into the memtables. Config must match the one the data was
+// written with.
+//
+// Before returning, Recover makes its own outcome durable: replayed entries
+// are re-logged into a fresh WAL and a new manifest is installed, so a
+// second crash immediately after recovery loses nothing.
 func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileID) (*DB, error) {
 	cfg = cfg.withDefaults()
-	size := sd.Size(manifestFile)
-	if size < 0 {
-		return nil, fmt.Errorf("engine: manifest file %d missing", manifestFile)
-	}
-	raw := make([]byte, size)
-	if err := sd.ReadAt(manifestFile, 0, raw, device.CauseClientRead); err != nil {
+	m, err := readManifest(sd, manifestFile)
+	if err != nil {
 		return nil, err
-	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("engine: manifest corrupt: %w", err)
 	}
 
 	db := &DB{cfg: cfg, ssd: sd, pm: pm, metrics: newMetrics()}
+	if cfg.FaultInjector != nil {
+		db.ssd.SetFault(cfg.FaultInjector)
+		if pm != nil {
+			pm.SetFault(cfg.FaultInjector)
+		}
+	}
 	if cfg.BlockCacheBytes > 0 {
 		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
 	}
 	db.pool = sched.NewPool(cfg.SchedMode, cfg.Workers, cfg.QMax, sd)
 	db.seq.Store(m.Seq)
+	db.manifestCur = manifestFile
 
 	bounds := cfg.PartitionBoundaries
 	if len(m.Partitions) != len(bounds)+1 {
@@ -247,6 +422,7 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 					Format:          cfg.PMTableFormat,
 					GroupSize:       cfg.GroupSize,
 					TargetTableSize: cfg.L0TableBytes,
+					Retire:          db.retirePM,
 				})
 				var unsorted, sorted []*pmtable.Table
 				for _, a := range pmPart.L0Unsorted {
@@ -270,30 +446,60 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 		db.partitions = append(db.partitions, p)
 	}
 
-	// Replay the WAL into the memtables. Entries already flushed to level-0
-	// are re-applied; versioning makes that harmless (the newest sequence
-	// wins regardless of which tier holds it).
-	if !cfg.DisableWAL && m.WALFile != 0 {
+	// Replay the live WALs, oldest first, into the memtables. Entries already
+	// flushed to level-0 are re-applied; versioning makes that harmless (the
+	// newest sequence wins regardless of which tier holds it).
+	walFiles := m.WALFiles
+	if len(walFiles) == 0 && m.WALFile != 0 {
+		walFiles = []uint64{m.WALFile}
+	}
+	if !cfg.DisableWAL {
 		maxSeq := m.Seq
-		_, err := wal.Replay(sd, ssd.FileID(m.WALFile), func(e kv.Entry) error {
-			p := db.route(e.Key)
-			// Recovery is single-threaded: the DB has not been returned to
-			// the caller yet, so no concurrent reader or writer exists and
-			// taking p.mu here would only suggest a race that cannot occur.
-			//pmblade:allow guardedby recovery runs before the DB is published; no concurrency
-			p.mem.Add(e)
-			if e.Seq > maxSeq {
-				maxSeq = e.Seq
+		var replayed []kv.Entry
+		for _, wf := range walFiles {
+			_, err := wal.Replay(sd, ssd.FileID(wf), func(e kv.Entry) error {
+				p := db.route(e.Key)
+				// Recovery is single-threaded: the DB has not been returned to
+				// the caller yet, so no concurrent reader or writer exists and
+				// taking p.mu here would only suggest a race that cannot occur.
+				//pmblade:allow guardedby recovery runs before the DB is published; no concurrency
+				p.mem.Add(e)
+				if e.Seq > maxSeq {
+					maxSeq = e.Seq
+				}
+				replayed = append(replayed, e)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("engine: wal %d replay: %w", wf, err)
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("engine: wal replay: %w", err)
 		}
 		db.seq.Store(maxSeq)
 		db.wal = wal.NewWriter(sd)
-	} else if !cfg.DisableWAL {
-		db.wal = wal.NewWriter(sd)
+		// Make the recovered state durable in its own right: re-log the
+		// replayed tail into the fresh WAL and install a manifest naming it,
+		// so an immediate second crash recovers to the same state.
+		if len(replayed) > 0 {
+			if err := db.retryDurable(func() error {
+				_, e := db.wal.AppendBatches([][]kv.Entry{replayed})
+				return e
+			}); err != nil {
+				return nil, fmt.Errorf("engine: re-log recovered tail: %w", err)
+			}
+			if err := db.retryDurable(func() error { return db.wal.Sync() }); err != nil {
+				return nil, fmt.Errorf("engine: re-log recovered tail: %w", err)
+			}
+		}
+		db.lockAll()
+		_, err := db.saveManifestLocked(0)
+		db.unlockAll()
+		if err != nil {
+			return nil, fmt.Errorf("engine: install recovery manifest: %w", err)
+		}
+		// The replayed logs are fully covered by the re-log; retire them.
+		for _, wf := range walFiles {
+			sd.Delete(ssd.FileID(wf))
+		}
 	}
 	db.startPipeline()
 	return db, nil

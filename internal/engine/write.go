@@ -82,7 +82,13 @@ func (db *DB) Apply(b *Batch) error {
 		touched[p] = true
 	}
 	var firstErr error
-	for p := range touched {
+	// Walk partitions in index order, not map order: with SyncFlush the
+	// flush happens on this goroutine, and crash-point enumeration needs
+	// the identical device-op sequence on every replay of a workload.
+	for _, p := range db.partitions {
+		if !touched[p] {
+			continue
+		}
 		if err := db.maybeFlush(p); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -297,7 +303,14 @@ func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
 	entries := collectEntries(kv.NewDedupIterator(m.NewIterator(), false))
 	switch {
 	case p.l0 != nil: // PM level-0
-		res, err := pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
+		// Transient PM faults are retried (Build releases its allocation on
+		// every failure, so a retry starts clean); anything else propagates.
+		var res pmtable.BuildResult
+		err := db.retryDurable(func() error {
+			var e error
+			res, e = pmtable.Build(db.pm, entries, db.cfg.PMTableFormat, db.cfg.GroupSize, device.CauseFlush)
+			return e
+		})
 		if err != nil {
 			return err
 		}
@@ -319,14 +332,25 @@ func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
 	return nil
 }
 
-// buildSSTable writes entries (sorted) as one SSTable.
+// buildSSTable writes entries (sorted) as one SSTable. Transient device
+// faults restart the build in a fresh file (the failed attempt deletes its
+// file); other errors propagate.
 func buildSSTable(db *DB, entries []kv.Entry, cause device.Cause) (*sstable.Table, error) {
-	b := sstable.NewBuilder(db.ssd, cause)
-	for _, e := range entries {
-		if err := b.Add(e); err != nil {
-			b.Abandon()
-			return nil, err
+	var t *sstable.Table
+	err := db.retryDurable(func() error {
+		b := sstable.NewBuilder(db.ssd, cause)
+		for _, e := range entries {
+			if err := b.Add(e); err != nil {
+				b.Abandon()
+				return err
+			}
 		}
+		var err error
+		t, err = b.Finish()
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return b.Finish()
+	return t, nil
 }

@@ -287,6 +287,9 @@ func TestFig12Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment shape test")
 	}
+	if raceEnabled {
+		t.Skip("throughput-ratio assertions are unreliable under the race detector's CPU slowdown")
+	}
 	res, _ := RunFig12(testScale, io.Discard)
 	for wi, wl := range res.Workloads {
 		if res.Throughput[SysPMBlade][wi] <= res.Throughput[SysRocksDB][wi] {

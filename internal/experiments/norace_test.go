@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is true in -race builds; see race_test.go.
+const raceEnabled = false

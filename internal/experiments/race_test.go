@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled is true in -race builds. The race detector slows Go code by
+// 5-20x while injected device latency (clock.Spin) is unaffected, which
+// distorts cross-system throughput ratios; timing-shape assertions skip.
+const raceEnabled = true

@@ -1,0 +1,43 @@
+package crashtest
+
+import "testing"
+
+// TestCrashMatrixSampled runs a seeded sample of crash points — cheap enough
+// for every `go test` invocation, including -short and -race.
+func TestCrashMatrixSampled(t *testing.T) {
+	rep, err := Run(Options{Seed: 1, Ops: 300, Sample: 60, CheckpointEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatal(rep.String())
+	}
+	if rep.Tested != 60 {
+		t.Fatalf("expected 60 sampled points, tested %d", rep.Tested)
+	}
+}
+
+// TestCrashMatrixExhaustive enumerates every crash point of a full workload;
+// skipped under -short (it is the long tier of `make crash` / CI).
+func TestCrashMatrixExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		seed int64
+		ops  int
+		ckpt int
+	}{
+		{seed: 1, ops: 1000, ckpt: 64},
+		{seed: 42, ops: 400, ckpt: -1}, // no checkpoints: recovery is all WAL replay
+		{seed: 99, ops: 300, ckpt: 10}, // checkpoint-heavy: exercises WAL rotation
+	} {
+		rep, err := Run(Options{Seed: tc.seed, Ops: tc.ops, CheckpointEvery: tc.ckpt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failures) > 0 {
+			t.Errorf("seed=%d ops=%d ckpt=%d:\n%s", tc.seed, tc.ops, tc.ckpt, rep.String())
+		}
+	}
+}

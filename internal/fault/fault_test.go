@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pmblade/internal/device"
+)
+
+func TestDeterministicDecisions(t *testing.T) {
+	// Same seed + same op sequence → identical decisions and KeepBytes picks.
+	run := func() ([]Decision, []int64) {
+		in := New(42)
+		in.AddRule(Rule{Point: SSDAppend, AnyCause: true, Hit: 3, Once: true,
+			Decision: Decision{Err: ErrTransient}})
+		var ds []Decision
+		for i := 0; i < 6; i++ {
+			ds = append(ds, in.Hook(Op{Point: SSDAppend, Cause: device.CauseWAL, Len: 10}))
+		}
+		var ks []int64
+		for i := 0; i < 8; i++ {
+			ks = append(ks, in.KeepBytes(100, 200))
+		}
+		return ds, ks
+	}
+	d1, k1 := run()
+	d2, k2 := run()
+	for i := range d1 {
+		if fmt.Sprint(d1[i].Err) != fmt.Sprint(d2[i].Err) {
+			t.Fatalf("decision %d differs: %v vs %v", i, d1[i].Err, d2[i].Err)
+		}
+	}
+	if !errors.Is(d1[2].Err, ErrTransient) {
+		t.Fatalf("rule with Hit=3 must fire on the 3rd op, got %v", d1[2].Err)
+	}
+	for i, d := range d1 {
+		if i != 2 && d.Err != nil {
+			t.Fatalf("op %d should pass, got %v", i, d.Err)
+		}
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("KeepBytes pick %d differs: %d vs %d", i, k1[i], k2[i])
+		}
+		if k1[i] < 100 || k1[i] > 200 {
+			t.Fatalf("KeepBytes out of [durable, size]: %d", k1[i])
+		}
+	}
+}
+
+func TestRuleCauseScoping(t *testing.T) {
+	in := New(1)
+	in.FailOp(SSDAppend, device.CauseManifest, 1, Decision{Err: ErrPermanent})
+	if d := in.Hook(Op{Point: SSDAppend, Cause: device.CauseWAL}); d.Err != nil {
+		t.Fatalf("WAL append must not match a manifest-scoped rule: %v", d.Err)
+	}
+	if d := in.Hook(Op{Point: SSDSync, Cause: device.CauseManifest}); d.Err != nil {
+		t.Fatalf("sync must not match an append-scoped rule: %v", d.Err)
+	}
+	if d := in.Hook(Op{Point: SSDAppend, Cause: device.CauseManifest}); !errors.Is(d.Err, ErrPermanent) {
+		t.Fatalf("manifest append must fire the rule, got %v", d.Err)
+	}
+	// Once: the rule is consumed.
+	if d := in.Hook(Op{Point: SSDAppend, Cause: device.CauseManifest}); d.Err != nil {
+		t.Fatalf("one-shot rule fired twice: %v", d.Err)
+	}
+}
+
+func TestGlobalPowerCut(t *testing.T) {
+	in := New(7)
+	in.ArmPowerCut(3)
+	fired := false
+	in.OnPowerCut(func() { fired = true })
+	for i := 1; i <= 2; i++ {
+		if d := in.Hook(Op{Point: PMWrite}); d.Err != nil {
+			t.Fatalf("op %d before the cut must pass: %v", i, d.Err)
+		}
+	}
+	if d := in.Hook(Op{Point: SSDSync}); !errors.Is(d.Err, ErrPowerCut) {
+		t.Fatalf("3rd op must be the cut, got %v", d.Err)
+	}
+	if !fired {
+		t.Fatal("OnPowerCut callback did not run")
+	}
+	if in.Alive() {
+		t.Fatal("injector must be dead after the cut")
+	}
+	// Everything after the cut fails, and the op counter is frozen.
+	n := in.Points()
+	if d := in.Hook(Op{Point: SSDAppend}); !errors.Is(d.Err, ErrPowerCut) {
+		t.Fatalf("post-cut op must fail with ErrPowerCut, got %v", d.Err)
+	}
+	if in.Points() != n {
+		t.Fatal("dead injector must not count ops")
+	}
+}
+
+func TestPointScopedPowerCut(t *testing.T) {
+	in := New(7)
+	in.ArmPowerCutAt(SSDAppend, device.CauseManifest, 2)
+	seq := []Op{
+		{Point: SSDAppend, Cause: device.CauseManifest}, // hit 1: survives
+		{Point: SSDAppend, Cause: device.CauseWAL},      // wrong cause
+		{Point: SSDSync},                                // wrong point
+		{Point: SSDAppend, Cause: device.CauseManifest}, // hit 2: cut
+	}
+	for i, o := range seq[:3] {
+		if d := in.Hook(o); d.Err != nil {
+			t.Fatalf("op %d must pass: %v", i, d.Err)
+		}
+	}
+	if d := in.Hook(seq[3]); !errors.Is(d.Err, ErrPowerCut) {
+		t.Fatalf("2nd manifest append must cut, got %v", d.Err)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(ErrTransient) {
+		t.Fatal("ErrTransient must be transient")
+	}
+	for _, err := range []error{ErrPermanent, ErrTorn, ErrPowerCut, errors.New("x")} {
+		if IsTransient(err) {
+			t.Fatalf("%v must not be transient", err)
+		}
+	}
+}
+
+func TestKeepBytesClamping(t *testing.T) {
+	in := New(3)
+	if got := in.KeepBytes(50, 50); got != 50 {
+		t.Fatalf("fully durable region must keep exactly its size, got %d", got)
+	}
+	if got := in.KeepBytes(50, 40); got != 50 {
+		t.Fatalf("size below durable must clamp up, got %d", got)
+	}
+}

@@ -25,6 +25,11 @@ type Config struct {
 	// TargetTableSize splits the sorted run into tables of roughly this many
 	// bytes of raw payload; 0 means one table per compaction.
 	TargetTableSize int64
+	// Retire disposes a table that compaction or eviction replaced; nil means
+	// immediate t.Release(). The engine supplies a deferring hook when a WAL
+	// is in use: the durable manifest may still reference the table, so its
+	// space must not be reclaimed before the next manifest install.
+	Retire func(*pmtable.Table)
 }
 
 // Level0 is one partition's level-0. Methods are safe for concurrent use;
@@ -45,6 +50,15 @@ func New(dev *pmem.Device, cfg Config) *Level0 {
 		cfg.GroupSize = pmtable.DefaultGroupSize
 	}
 	return &Level0{dev: dev, cfg: cfg}
+}
+
+// retire disposes a replaced table through the configured hook.
+func (l *Level0) retire(t *pmtable.Table) {
+	if l.cfg.Retire != nil {
+		l.cfg.Retire(t)
+		return
+	}
+	t.Release()
 }
 
 // AddUnsorted installs a freshly flushed PM table as the newest unsorted
@@ -285,10 +299,10 @@ func (l *Level0) CompactInternal(keepTombstones bool) (CompactionStats, error) {
 	l.mu.Unlock()
 
 	for _, t := range unsorted {
-		t.Release()
+		l.retire(t)
 	}
 	for _, t := range sorted {
-		t.Release()
+		l.retire(t)
 	}
 	var sizeAfter int64
 	for _, t := range newSorted {
@@ -310,11 +324,11 @@ func (l *Level0) Evict() int64 {
 	var freed int64
 	for _, t := range unsorted {
 		freed += t.SizeBytes()
-		t.Release()
+		l.retire(t)
 	}
 	for _, t := range sorted {
 		freed += t.SizeBytes()
-		t.Release()
+		l.retire(t)
 	}
 	return freed
 }

@@ -25,6 +25,7 @@ import (
 
 	"pmblade/internal/clock"
 	"pmblade/internal/device"
+	"pmblade/internal/fault"
 )
 
 // Profile describes the injected latency model.
@@ -84,8 +85,14 @@ type Device struct {
 	next    int64 // bump-allocation cursor
 	freed   int64 // bytes released (space accounting only; arena is not reused)
 	regions map[Addr]int64
+	// doomed, when >= 0, caps the flush high-water mark forever: a Dropped
+	// fault landed at that offset, so bytes at and beyond it are lost at the
+	// next power cut regardless of later flushes. -1 means none.
+	doomed int64 // guarded by: mu
 
 	flushed atomic.Int64 // high-water mark of flushed bytes (persistence model)
+
+	fault *fault.Injector // nil = no fault injection
 }
 
 // New creates a device with the given capacity in bytes.
@@ -95,7 +102,20 @@ func New(capacity int64, p Profile) *Device {
 		cap:     capacity,
 		stats:   device.NewStats(),
 		regions: make(map[Addr]int64),
+		doomed:  -1,
 	}
+}
+
+// SetFault attaches a fault injector; nil detaches. Attach before handing
+// the device to the engine.
+func (d *Device) SetFault(in *fault.Injector) { d.fault = in }
+
+// hook consults the fault injector, if any.
+func (d *Device) hook(p fault.Point, cause device.Cause, n int) fault.Decision {
+	if d.fault == nil {
+		return fault.Decision{}
+	}
+	return d.fault.Hook(fault.Op{Point: p, Cause: cause, Len: n})
 }
 
 // Stats exposes the device counters.
@@ -119,6 +139,9 @@ func (d *Device) Free() int64 { return d.cap - d.Used() }
 func (d *Device) Alloc(n int) (Addr, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("pmem: negative allocation %d", n)
+	}
+	if dec := d.hook(fault.PMAlloc, device.CauseUnknown, n); dec.Err != nil {
+		return 0, dec.Err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -192,16 +215,37 @@ func (d *Device) chargeWrite(n int) {
 }
 
 // WriteAt copies p into the arena at addr+off, charging the latency model and
-// attributing bytes to cause.
+// attributing bytes to cause. The bytes are volatile (store-buffer resident)
+// until the next Flush.
 func (d *Device) WriteAt(addr Addr, off int64, p []byte, cause device.Cause) error {
+	dec := d.hook(fault.PMWrite, cause, len(p))
 	d.mu.Lock()
 	base := int64(addr) + off
-	if base < 0 || base+int64(len(p)) > d.next {
-		d.mu.Unlock()
-		return fmt.Errorf("pmem: write out of range addr=%d off=%d len=%d", addr, off, len(p))
+	var err error
+	switch {
+	case base < 0 || base+int64(len(p)) > d.next:
+		err = fmt.Errorf("pmem: write out of range addr=%d off=%d len=%d", addr, off, len(p))
+	case dec.Err != nil:
+		if tear := dec.Tear; tear > 0 {
+			if tear > len(p) {
+				tear = len(p)
+			}
+			copy(d.arena[base:], p[:tear])
+		}
+		err = dec.Err
+	default:
+		if dec.Drop {
+			// Lying DIMM: the store lands but can never be flushed to media.
+			if d.doomed < 0 || base < d.doomed {
+				d.doomed = base
+			}
+		}
+		copy(d.arena[base:], p)
 	}
-	copy(d.arena[base:], p)
 	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	d.chargeWrite(len(p))
 	d.stats.CountWrite(cause, len(p))
 	return nil
@@ -245,17 +289,63 @@ func (d *Device) View(addr Addr, off, n int64, cause device.Cause) ([]byte, erro
 func (d *Device) ChargeAccess() { d.chargeRead(0) }
 
 // Flush marks everything written so far as persistent (clwb + sfence in the
-// real device). Tests use Persisted to assert protocol ordering.
-func (d *Device) Flush() {
+// real device), except doomed bytes (see fault.Decision.Drop). Tests use
+// Persisted to assert protocol ordering.
+func (d *Device) Flush() error {
+	if dec := d.hook(fault.PMFlush, device.CauseUnknown, 0); dec.Err != nil {
+		return dec.Err
+	}
 	d.mu.Lock()
 	n := d.next
+	if d.doomed >= 0 && n > d.doomed {
+		n = d.doomed
+	}
 	d.mu.Unlock()
 	for {
 		cur := d.flushed.Load()
 		if n <= cur || d.flushed.CompareAndSwap(cur, n) {
-			return
+			return nil
 		}
 	}
+}
+
+// CrashImage materialises the device state after a power cut: arena contents
+// beyond keep(flushed, next) bytes are wiped (the unflushed tail is lost or
+// torn per the fault layer's seeded policy; keep is clamped to
+// [flushed, next]). keep may be nil, in which case only the flushed prefix
+// survives. Allocator metadata (regions, cursor) is modelled as crash-safe
+// and carries over; the image has no fault injector and fresh stats.
+func (d *Device) CrashImage(keep func(flushed, next int64) int64) *Device {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	max := d.next
+	if d.doomed >= 0 && max > d.doomed {
+		max = d.doomed
+	}
+	dur := d.flushed.Load()
+	if dur > max {
+		dur = max
+	}
+	n := dur
+	if keep != nil {
+		n = keep(dur, max)
+		if n < dur {
+			n = dur
+		}
+		if n > max {
+			n = max
+		}
+	}
+	img := New(d.cap, d.profile)
+	img.arena = make([]byte, len(d.arena))
+	copy(img.arena, d.arena[:n])
+	img.next = d.next
+	img.freed = d.freed
+	for a, sz := range d.regions {
+		img.regions[a] = sz
+	}
+	img.flushed.Store(n)
+	return img
 }
 
 // Persisted reports whether the region at addr (entirely below the flush

@@ -106,7 +106,9 @@ func TestFlushPersistence(t *testing.T) {
 	if d.Persisted(addr) {
 		t.Fatal("unflushed region must not be persisted")
 	}
-	d.Flush()
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if !d.Persisted(addr) {
 		t.Fatal("flushed region must be persisted")
 	}

@@ -247,7 +247,10 @@ func Build(dev *pmem.Device, entries []kv.Entry, format Format, groupSize int, c
 		dev.Release(addr)
 		return BuildResult{}, err
 	}
-	dev.Flush()
+	if err := dev.Flush(); err != nil {
+		dev.Release(addr)
+		return BuildResult{}, err
+	}
 
 	t, err := Open(dev, addr)
 	if err != nil {

@@ -7,17 +7,26 @@
 // Files are extents of pages identified by a FileID; contents live in heap
 // memory. Byte counters are attributed per cause for write-amplification
 // accounting.
+//
+// Durability model (faultkit): Append extends a file's volatile contents;
+// Sync advances its durable length. A power cut (injected via SetFault)
+// loses the unsynced tail — CrashImage materialises the post-crash device,
+// with the surviving fraction of each unsynced tail chosen by the fault
+// layer's seeded policy. Named root pointers (SetRoot/Root) model the atomic
+// manifest rename: durable the moment they are installed.
 package ssd
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pmblade/internal/clock"
 	"pmblade/internal/device"
+	"pmblade/internal/fault"
 	"pmblade/internal/histogram"
 )
 
@@ -61,6 +70,13 @@ var ErrNotFound = errors.New("ssd: file not found")
 
 type file struct {
 	data []byte
+	// durable is the prefix guaranteed to survive a power cut (advanced by
+	// Sync, shrunk by Truncate).
+	durable int64
+	// doomed, when >= 0, caps durable forever: a Dropped fault landed at that
+	// offset, so bytes at and beyond it are lost at the next power cut no
+	// matter how many syncs follow (lying write cache). -1 means none.
+	doomed int64
 }
 
 // Device is a simulated SSD. All methods are safe for concurrent use.
@@ -73,8 +89,11 @@ type Device struct {
 	ioLat   *histogram.Histogram
 	mu      sync.RWMutex
 	files   map[FileID]*file
+	roots   map[string]FileID // named durable root pointers; guarded by: mu
 	nextID  atomic.Uint64
 	written atomic.Int64
+
+	fault *fault.Injector // nil = no fault injection
 }
 
 // New creates a device with the given profile.
@@ -88,9 +107,22 @@ func New(p Profile) *Device {
 		stats:   device.NewStats(),
 		slots:   make(chan struct{}, par),
 		files:   make(map[FileID]*file),
+		roots:   make(map[string]FileID),
 		ioLat:   histogram.New(),
 	}
 	return d
+}
+
+// SetFault attaches a fault injector; nil detaches. Not safe to race with
+// in-flight I/O — attach before handing the device to the engine.
+func (d *Device) SetFault(in *fault.Injector) { d.fault = in }
+
+// hook consults the fault injector, if any.
+func (d *Device) hook(p fault.Point, cause device.Cause, id FileID, n int) fault.Decision {
+	if d.fault == nil {
+		return fault.Decision{}
+	}
+	return d.fault.Hook(fault.Op{Point: p, Cause: cause, File: uint64(id), Len: n})
 }
 
 // Stats exposes the device counters.
@@ -144,16 +176,55 @@ func (d *Device) perform(write bool, n int) {
 func (d *Device) Create() FileID {
 	id := FileID(d.nextID.Add(1))
 	d.mu.Lock()
-	d.files[id] = &file{}
+	d.files[id] = &file{doomed: -1}
 	d.mu.Unlock()
 	return id
 }
 
-// Delete removes a file. Deleting an unknown file is a no-op.
+// Delete removes a file. Deleting an unknown file is a no-op. Deletion is a
+// durable directory operation; under an armed power cut the delete simply
+// does not happen (callers treat deletion as advisory cleanup).
 func (d *Device) Delete(id FileID) {
+	if dec := d.hook(fault.SSDDelete, device.CauseUnknown, id, 0); dec.Err != nil {
+		return
+	}
 	d.mu.Lock()
 	delete(d.files, id)
 	d.mu.Unlock()
+}
+
+// SetRoot atomically installs a named root pointer — the simulated rename of
+// a CURRENT file onto the manifest. The update is durable the moment it
+// returns (journaled rename); a power cut at this failpoint leaves the
+// previous value in place.
+func (d *Device) SetRoot(name string, id FileID) error {
+	if dec := d.hook(fault.SSDRoot, device.CauseUnknown, id, 0); dec.Err != nil {
+		return dec.Err
+	}
+	d.mu.Lock()
+	d.roots[name] = id
+	d.mu.Unlock()
+	return nil
+}
+
+// Root reads a named root pointer.
+func (d *Device) Root(name string) (FileID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.roots[name]
+	return id, ok
+}
+
+// Files lists all live file ids in ascending order.
+func (d *Device) Files() []FileID {
+	d.mu.RLock()
+	ids := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	d.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Size reports a file's length in bytes, or -1 if it does not exist.
@@ -165,6 +236,22 @@ func (d *Device) Size(id FileID) int64 {
 		return -1
 	}
 	return int64(len(f.data))
+}
+
+// DurableSize reports the prefix of a file guaranteed to survive a power
+// cut, or -1 if the file does not exist.
+func (d *Device) DurableSize(id FileID) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[id]
+	if !ok {
+		return -1
+	}
+	dur := f.durable
+	if f.doomed >= 0 && dur > f.doomed {
+		dur = f.doomed
+	}
+	return dur
 }
 
 // UsedBytes reports total live bytes across files.
@@ -187,8 +274,42 @@ func pages(n int) int {
 }
 
 // Append writes p at the end of the file, charging one queued write per page
-// span. It returns the offset at which the data landed.
+// span. It returns the offset at which the data landed. The bytes are
+// volatile until the next Sync.
 func (d *Device) Append(id FileID, p []byte, cause device.Cause) (int64, error) {
+	if dec := d.hook(fault.SSDAppend, cause, id, len(p)); dec.Err != nil || dec.Drop {
+		if dec.Err != nil {
+			if dec.Tear > 0 {
+				tear := dec.Tear
+				if tear > len(p) {
+					tear = len(p)
+				}
+				d.mu.Lock()
+				if f, ok := d.files[id]; ok {
+					f.data = append(f.data, p[:tear]...)
+				}
+				d.mu.Unlock()
+			}
+			return 0, dec.Err
+		}
+		// Drop: apply the write, report success, but doom the bytes — they
+		// can never become durable.
+		d.mu.Lock()
+		f, ok := d.files[id]
+		if !ok {
+			d.mu.Unlock()
+			return 0, ErrNotFound
+		}
+		off := int64(len(f.data))
+		if f.doomed < 0 || off < f.doomed {
+			f.doomed = off
+		}
+		f.data = append(f.data, p...)
+		d.mu.Unlock()
+		d.stats.CountWrite(cause, len(p))
+		d.written.Add(int64(len(p)))
+		return off, nil
+	}
 	d.mu.Lock()
 	f, ok := d.files[id]
 	if !ok {
@@ -224,9 +345,12 @@ func (d *Device) ReadAt(id FileID, off int64, p []byte, cause device.Cause) erro
 	return nil
 }
 
-// Truncate shrinks a file to size bytes, simulating a crash that tears the
-// tail of a log. Test support: it charges no I/O latency.
+// Truncate shrinks a file to size bytes (crash-tail simulation and log
+// rollback). It charges no I/O latency.
 func (d *Device) Truncate(id FileID, size int64) error {
+	if dec := d.hook(fault.SSDTruncate, device.CauseUnknown, id, int(size)); dec.Err != nil {
+		return dec.Err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	f, ok := d.files[id]
@@ -238,17 +362,84 @@ func (d *Device) Truncate(id FileID, size int64) error {
 			id, size, len(f.data))
 	}
 	f.data = f.data[:size]
+	if f.durable > size {
+		f.durable = size
+	}
+	if f.doomed >= size {
+		f.doomed = -1
+	}
 	return nil
 }
 
-// Sync models an fsync; it charges one write-latency barrier.
+// Sync models an fsync: everything appended so far becomes durable (except
+// doomed bytes — see fault.Decision.Drop). It charges one write-latency
+// barrier.
 func (d *Device) Sync(id FileID) error {
-	d.mu.RLock()
-	_, ok := d.files[id]
-	d.mu.RUnlock()
+	if dec := d.hook(fault.SSDSync, device.CauseUnknown, id, 0); dec.Err != nil {
+		return dec.Err
+	}
+	d.mu.Lock()
+	f, ok := d.files[id]
 	if !ok {
+		d.mu.Unlock()
 		return ErrNotFound
 	}
+	f.durable = int64(len(f.data))
+	if f.doomed >= 0 && f.durable > f.doomed {
+		f.durable = f.doomed
+	}
+	d.mu.Unlock()
 	d.perform(true, 0)
 	return nil
+}
+
+// CrashImage materialises the device state after a power cut: each file is
+// cut back to keep(id, durable, size) bytes, where durable ≤ keep ≤ size and
+// size excludes doomed bytes. keep may be nil, in which case only the durable
+// prefix survives. Root pointers and the file-id counter carry over (ids
+// allocated after recovery must not collide with manifest-referenced ones).
+// The image has no fault injector attached and fresh stats.
+func (d *Device) CrashImage(keep func(id FileID, durable, size int64) int64) *Device {
+	img := New(d.profile)
+	img.nextID.Store(d.nextID.Load())
+	// img is not yet published, but its fields are annotated; lock anyway.
+	img.mu.Lock()
+	defer img.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := d.files[id]
+		max := int64(len(f.data))
+		if f.doomed >= 0 && max > f.doomed {
+			max = f.doomed
+		}
+		dur := f.durable
+		if dur > max {
+			dur = max
+		}
+		n := dur
+		if keep != nil {
+			n = keep(id, dur, max)
+			if n < dur {
+				n = dur
+			}
+			if n > max {
+				n = max
+			}
+		}
+		img.files[id] = &file{
+			data:    append([]byte(nil), f.data[:n]...),
+			durable: n,
+			doomed:  -1,
+		}
+	}
+	for name, id := range d.roots {
+		img.roots[name] = id
+	}
+	return img
 }

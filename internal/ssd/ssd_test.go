@@ -2,11 +2,13 @@ package ssd
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"pmblade/internal/device"
+	"pmblade/internal/fault"
 )
 
 func TestCreateAppendRead(t *testing.T) {
@@ -90,7 +92,7 @@ func TestLatencyGrowsWithContention(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			if _, err := d.Append(f, []byte("x"), device.CauseMajor); err != nil {
-				t.Fatal(err)
+				t.Error(err)
 			}
 		}()
 	}
@@ -144,5 +146,45 @@ func TestWriteAttribution(t *testing.T) {
 	}
 	if d.Stats().WriteBytes(device.CauseWAL) != 50 {
 		t.Fatal("wal bytes wrong")
+	}
+}
+
+// TestTruncateErrorPropagation: injected failures on the truncate failpoint
+// surface to the caller and leave the file untouched; the device recovers
+// once the fault clears.
+func TestTruncateErrorPropagation(t *testing.T) {
+	d := New(FastProfile)
+	in := fault.New(3)
+	d.SetFault(in)
+	f := d.Create()
+	if _, err := d.Append(f, []byte("0123456789"), device.CauseFlush); err != nil {
+		t.Fatal(err)
+	}
+
+	in.FailPoint(fault.SSDTruncate, 1, fault.Decision{Err: fault.ErrPermanent})
+	if err := d.Truncate(f, 4); !errors.Is(err, fault.ErrPermanent) {
+		t.Fatalf("truncate under permanent fault: %v", err)
+	}
+	if d.Size(f) != 10 {
+		t.Fatalf("failed truncate must not shorten the file: size=%d", d.Size(f))
+	}
+
+	in.FailPoint(fault.SSDTruncate, 1, fault.Decision{Err: fault.ErrTransient})
+	if err := d.Truncate(f, 4); !errors.Is(err, fault.ErrTransient) {
+		t.Fatalf("truncate under transient fault: %v", err)
+	}
+
+	if err := d.Truncate(f, 4); err != nil {
+		t.Fatalf("truncate after faults cleared: %v", err)
+	}
+	if d.Size(f) != 4 {
+		t.Fatalf("truncate applied wrong size: %d", d.Size(f))
+	}
+	// Out-of-range and missing-file errors propagate without the injector too.
+	if err := d.Truncate(f, 99); err == nil {
+		t.Fatal("truncate beyond EOF must fail")
+	}
+	if err := d.Truncate(FileID(9999), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("truncate of missing file: %v", err)
 	}
 }

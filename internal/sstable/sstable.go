@@ -270,6 +270,7 @@ func (b *Builder) Finish() (*Table, error) {
 		return nil, err
 	}
 	if err := b.dev.Sync(b.file); err != nil {
+		b.dev.Delete(b.file)
 		return nil, err
 	}
 	return Open(b.dev, b.file, nil)

@@ -2,10 +2,12 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"pmblade/internal/device"
+	"pmblade/internal/fault"
 	"pmblade/internal/kv"
 	"pmblade/internal/ssd"
 )
@@ -237,5 +239,50 @@ func TestReplayDropsTornBatchAtomically(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("replayed %v want %v", got, want)
 		}
+	}
+}
+
+// TestTornAppendViaInjector tears a group-commit append mid-record with the
+// fault layer: the device applies a prefix of the batch record and fails the
+// call. Replay must surface every earlier record and stop cleanly at the torn
+// one — no entry of the torn commit group becomes visible.
+func TestTornAppendViaInjector(t *testing.T) {
+	dev := testDev()
+	in := fault.New(5)
+	dev.SetFault(in)
+	w := NewWriter(dev)
+
+	good := [][]kv.Entry{{
+		{Key: []byte("a"), Value: []byte("1"), Seq: 1, Kind: kv.KindSet},
+		{Key: []byte("b"), Value: []byte("2"), Seq: 2, Kind: kv.KindSet},
+	}}
+	if _, err := w.AppendBatches(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the next WAL append 10 bytes in: past the record header, inside
+	// the batch payload.
+	in.FailOp(fault.SSDAppend, device.CauseWAL, 1, fault.Decision{Err: fault.ErrTorn, Tear: 10})
+	torn := [][]kv.Entry{{
+		{Key: []byte("c"), Value: []byte("3"), Seq: 3, Kind: kv.KindSet},
+		{Key: []byte("d"), Value: []byte("4"), Seq: 4, Kind: kv.KindSet},
+	}}
+	if _, err := w.AppendBatches(torn); !errors.Is(err, fault.ErrTorn) {
+		t.Fatalf("torn append must report ErrTorn, got %v", err)
+	}
+
+	var keys []string
+	n, err := Replay(dev, w.File(), func(e kv.Entry) error {
+		keys = append(keys, string(e.Key))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay over a torn tail must not error: %v", err)
+	}
+	if n != 2 || len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("replay = %v (n=%d); want exactly the intact batch", keys, n)
 	}
 }
