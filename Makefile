@@ -3,7 +3,7 @@
 GO ?= go
 VET_BIN := $(CURDIR)/bin/pmblade-vet
 
-.PHONY: build test race vet pmblade-vet crash verify clean
+.PHONY: build test race vet pmblade-vet crash bench-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,13 @@ crash:
 	$(GO) run ./cmd/pmblade-crash -seed 42 -ops 400 -checkpoint-every -1 -q
 	$(GO) run ./cmd/pmblade-crash -seed 99 -ops 300 -checkpoint-every 10 -q
 
+# One iteration of every engine benchmark: catches benchmarks that no longer
+# compile or crash, without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Engine' -benchtime=1x .
+
 # verify is the pre-merge gate: everything CI checks, in one target.
-verify: build vet pmblade-vet race crash
+verify: build vet pmblade-vet race crash bench-smoke
 
 clean:
 	rm -rf bin

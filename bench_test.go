@@ -213,6 +213,66 @@ func BenchmarkEngineGetSSD(b *testing.B) {
 	}
 }
 
+// ssdResidentDB builds a store whose working set lives on SSD (flushed and
+// major-compacted), the tier where cache sharding and read coalescing matter.
+func ssdResidentDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := benchDB(b)
+	val := make([]byte, 256)
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkEngineGetParallel measures point-read scaling: concurrent random
+// Gets against SSD-resident data, where the sharded block cache is the shared
+// structure under contention.
+func BenchmarkEngineGetParallel(b *testing.B) {
+	const n = 10000
+	db := ssdResidentDB(b, n)
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if _, _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineMultiGet measures one 16-key batch per op against
+// SSD-resident data; sorted-ish batches let block-read coalescing engage.
+func BenchmarkEngineMultiGet(b *testing.B) {
+	const n = 10000
+	const batch = 16
+	db := ssdResidentDB(b, n)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := rng.Intn(n - batch*8)
+		for j := 0; j < batch; j++ {
+			keys[j] = []byte(fmt.Sprintf("key-%06d", base+j*rng.Intn(8)))
+		}
+		res, err := db.MultiGet(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != batch {
+			b.Fatal("short result")
+		}
+	}
+}
+
 func BenchmarkEngineScan100(b *testing.B) {
 	db := benchDB(b)
 	val := make([]byte, 256)
@@ -230,6 +290,46 @@ func BenchmarkEngineScan100(b *testing.B) {
 		}
 	}
 }
+
+// benchScan100 runs 100-entry range scans against SSD-resident data with the
+// given block cache size; cacheBytes 0 disables the cache entirely so every
+// block comes off the device (the cold case).
+func benchScan100(b *testing.B, cacheBytes int64) {
+	cfg := FastOptions().resolve()
+	cfg.BlockCacheBytes = cacheBytes
+	db, err := OpenEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	val := make([]byte, 256)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(n - 200)
+		if _, err := db.Scan([]byte(fmt.Sprintf("key-%06d", lo)), nil, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScan100SSDCold scans with no block cache: readahead is the
+// only mitigation for device latency.
+func BenchmarkEngineScan100SSDCold(b *testing.B) { benchScan100(b, 0) }
+
+// BenchmarkEngineScan100SSDHot scans with a cache large enough to hold the
+// working set, so steady state serves from the sharded cache.
+func BenchmarkEngineScan100SSDHot(b *testing.B) { benchScan100(b, 64<<20) }
 
 // Ablation bench: group size 8 vs 16 in the prefix PM table (a design knob
 // DESIGN.md calls out; the paper uses "eight or sixteen").

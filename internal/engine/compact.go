@@ -332,6 +332,9 @@ func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byt
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+		for _, t := range results[i] {
+			t.AttachCache(db.cache)
+		}
 		out = append(out, results[i]...)
 	}
 	return out, nil
@@ -441,6 +444,9 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 	for i := range results {
 		if errs[i] != nil {
 			return errs[i]
+		}
+		for _, t := range results[i] {
+			t.AttachCache(db.cache)
 		}
 		outTables = append(outTables, results[i]...)
 	}

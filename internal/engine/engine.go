@@ -182,6 +182,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	if cfg.BlockCacheBytes > 0 {
 		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
+		db.metrics.cache = db.cache
 	}
 	db.pool = sched.NewPool(cfg.SchedMode, cfg.Workers, cfg.QMax, db.ssd)
 	if !cfg.DisableWAL {

@@ -19,10 +19,21 @@ type Iterator struct {
 	pi       int
 	merged   *kv.DedupIterator
 	release  func()
+	prefetch *iterPrefetch
 	cur      ScanResult
 	valid    bool
 	closed   bool
 	firstKey []byte
+}
+
+// iterPrefetch is the next partition's source stack being seeked in the
+// background while the current partition drains. At most one is in flight;
+// done closes when merged/release are safe to read.
+type iterPrefetch struct {
+	pi      int
+	done    chan struct{}
+	merged  *kv.DedupIterator
+	release func()
 }
 
 // NewIterator opens an iterator over [start, end); nil bounds are unbounded.
@@ -56,6 +67,13 @@ func (it *Iterator) openPartition(pi int, from []byte) {
 	if pi >= len(it.parts) {
 		return
 	}
+	if from == nil {
+		if merged, release, ok := it.takePrefetch(pi); ok {
+			it.merged, it.release = merged, release
+			it.startPrefetch(pi + 1)
+			return
+		}
+	}
 	its, release := it.db.partitionIterators(it.parts[pi])
 	for _, src := range its {
 		if from != nil {
@@ -66,6 +84,47 @@ func (it *Iterator) openPartition(pi int, from []byte) {
 	}
 	it.release = release
 	it.merged = kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+	it.startPrefetch(pi + 1)
+}
+
+// startPrefetch begins seeking partition pi's sources in the background so
+// the cross-partition hop hides its first block reads behind the current
+// partition's drain. Cross-partition hops always start at the partition's
+// first key, so the prefetch seeks to first.
+func (it *Iterator) startPrefetch(pi int) {
+	if pi >= len(it.parts) {
+		return
+	}
+	pf := &iterPrefetch{pi: pi, done: make(chan struct{})}
+	it.prefetch = pf
+	p, db := it.parts[pi], it.db
+	go func() {
+		defer close(pf.done)
+		its, release := db.partitionIterators(p)
+		for _, src := range its {
+			src.SeekToFirst()
+		}
+		pf.release = release
+		pf.merged = kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+	}()
+}
+
+// takePrefetch consumes the in-flight prefetch if it targets partition pi;
+// a stale prefetch is drained and its table references released.
+func (it *Iterator) takePrefetch(pi int) (*kv.DedupIterator, func(), bool) {
+	pf := it.prefetch
+	if pf == nil {
+		return nil, nil, false
+	}
+	it.prefetch = nil
+	<-pf.done
+	if pf.pi == pi {
+		return pf.merged, pf.release, true
+	}
+	if pf.release != nil {
+		pf.release()
+	}
+	return nil, nil, false
 }
 
 // advance moves to the next live visible entry, crossing partitions.
@@ -126,5 +185,12 @@ func (it *Iterator) Close() {
 	if it.release != nil {
 		it.release()
 		it.release = nil
+	}
+	if pf := it.prefetch; pf != nil {
+		it.prefetch = nil
+		<-pf.done
+		if pf.release != nil {
+			pf.release()
+		}
 	}
 }

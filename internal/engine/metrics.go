@@ -5,6 +5,7 @@ import (
 
 	"pmblade/internal/device"
 	"pmblade/internal/histogram"
+	"pmblade/internal/sstable"
 )
 
 // Tier identifies where a read was served from; Figure 8(b) reports the
@@ -65,14 +66,46 @@ type Metrics struct {
 	// a table pruned without probing, a hit is a table the filter admitted.
 	FilterHits  atomic.Int64
 	FilterSkips atomic.Int64
+
+	// MultiGetOps / MultiGetKeys describe batched point reads; their ratio is
+	// the mean batch size. MultiGetCoalescedReads counts SSD block reads
+	// avoided because co-located keys shared one device read (same block, or
+	// adjacent blocks merged into one span ReadAt). MultiGetLatency is the
+	// whole-batch latency histogram.
+	MultiGetOps            atomic.Int64
+	MultiGetKeys           atomic.Int64
+	MultiGetCoalescedReads atomic.Int64
+	MultiGetLatency        *histogram.Histogram
+
+	// cache backs CacheStats; nil when the engine runs uncached.
+	cache *sstable.BlockCache
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		ReadLatency:  histogram.New(),
-		WriteLatency: histogram.New(),
-		ScanLatency:  histogram.New(),
+		ReadLatency:     histogram.New(),
+		WriteLatency:    histogram.New(),
+		ScanLatency:     histogram.New(),
+		MultiGetLatency: histogram.New(),
 	}
+}
+
+// CacheStats reports the block cache's aggregated hit/miss/eviction and
+// occupancy counters (zero when no cache is configured).
+func (m *Metrics) CacheStats() sstable.CacheStats {
+	if m.cache == nil {
+		return sstable.CacheStats{}
+	}
+	return m.cache.Stats()
+}
+
+// CacheShardStats reports the per-shard cache counters, for contention and
+// imbalance analysis; nil when no cache is configured.
+func (m *Metrics) CacheShardStats() []sstable.CacheStats {
+	if m.cache == nil {
+		return nil
+	}
+	return m.cache.ShardStats()
 }
 
 // CountRead records the tier that served a read.
@@ -98,6 +131,7 @@ func (m *Metrics) ResetLatencies() {
 	m.ReadLatency.Reset()
 	m.WriteLatency.Reset()
 	m.ScanLatency.Reset()
+	m.MultiGetLatency.Reset()
 }
 
 // WriteAmp summarizes write traffic by destination and cause — the paper's

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"time"
+
+	"pmblade/internal/kv"
+)
+
+// GetResult is one key's outcome in a MultiGet batch.
+type GetResult struct {
+	Value []byte
+	Found bool
+}
+
+// MultiGet resolves many keys at a single snapshot and returns results
+// positionally identical to len(keys) sequential Get calls. Keys are grouped
+// by partition with one routing pass; each partition pays its memtable and
+// level-0 snapshots once for the whole group, probes fence keys and Bloom
+// filters before touching entry data, and coalesces SSD block reads so keys
+// co-located in a block (or in adjacent blocks) share one device read.
+// Partitions resolve in parallel with bounded fan-out through the scheduler
+// pool.
+func (db *DB) MultiGet(keys [][]byte) ([]GetResult, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	seq := db.seq.Load()
+	results := make([]GetResult, len(keys))
+	if len(keys) == 0 {
+		return results, nil
+	}
+
+	// One routing pass: partition index -> positions of its keys.
+	groups := make([][]int, len(db.partitions))
+	for i, key := range keys {
+		pid := db.route(key).id
+		groups[pid] = append(groups[pid], i)
+	}
+	var active []*partition
+	var activeIdx [][]int
+	for pid, idxs := range groups {
+		if len(idxs) > 0 {
+			active = append(active, db.partitions[pid])
+			activeIdx = append(activeIdx, idxs)
+		}
+	}
+
+	entries := make([]kv.Entry, len(keys))
+	found := make([]bool, len(keys))
+	tiers := make([]Tier, len(keys))
+	errs := make([]error, len(active))
+	db.pool.Fan(len(active), func(g int) {
+		errs[g] = db.multiGetPartition(active[g], keys, activeIdx[g], seq, entries, found, tiers)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range keys {
+		db.metrics.CountRead(tiers[i])
+		if found[i] && entries[i].Kind != kv.KindDelete {
+			// Copy-out boundary: entry values may alias block cache memory.
+			results[i] = GetResult{Value: append([]byte(nil), entries[i].Value...), Found: true}
+		}
+	}
+	db.metrics.MultiGetOps.Add(1)
+	db.metrics.MultiGetKeys.Add(int64(len(keys)))
+	db.metrics.MultiGetLatency.Record(time.Since(start))
+	return results, nil
+}
+
+// multiGetPartition resolves idxs (positions into keys) against partition p,
+// writing into the shared entries/found/tiers slices; positions are disjoint
+// across partitions, so concurrent group resolution needs no locking.
+func (db *DB) multiGetPartition(p *partition, keys [][]byte, idxs []int, seq uint64, entries []kv.Entry, found []bool, tiers []Tier) error {
+	// Sub-batch views aligned to this partition's keys.
+	subKeys := make([][]byte, len(idxs))
+	subEntries := make([]kv.Entry, len(idxs))
+	subFound := make([]bool, len(idxs))
+	subTiers := make([]Tier, len(idxs))
+	for j, i := range idxs {
+		subKeys[j] = keys[i]
+	}
+
+	// 1. Active memtable + immutables, newest first — one snapshot per batch.
+	mem, imms := p.memSnapshot()
+	for j, key := range subKeys {
+		if e, ok := mem.Get(key, seq); ok {
+			subEntries[j], subFound[j], subTiers[j] = e, true, TierMemtable
+			continue
+		}
+		for _, m := range imms {
+			if e, ok := m.Get(key, seq); ok {
+				subEntries[j], subFound[j], subTiers[j] = e, true, TierMemtable
+				break
+			}
+		}
+	}
+
+	// 2. Level-0.
+	markNew := func(t Tier) {
+		for j := range subFound {
+			if subFound[j] && subTiers[j] == TierMiss {
+				subTiers[j] = t
+			}
+		}
+	}
+	if p.l0 != nil {
+		stats := p.l0.GetBatch(subKeys, seq, subEntries, subFound)
+		db.metrics.L0TablesProbed.Add(int64(stats.Probed))
+		db.metrics.FilterHits.Add(int64(stats.FilterHits))
+		db.metrics.FilterSkips.Add(int64(stats.FilterSkips))
+		markNew(TierPM)
+	} else if p.leveled == nil {
+		// SSD level-0: newest table first; found keys shadow older tables.
+		l0 := p.l0ssdRef()
+		for _, t := range l0 {
+			coalesced, err := t.GetBatch(subKeys, seq, subEntries, subFound)
+			db.metrics.MultiGetCoalescedReads.Add(int64(coalesced))
+			if err != nil {
+				unrefAll(l0)
+				return err
+			}
+		}
+		unrefAll(l0)
+		markNew(TierSSD)
+	}
+
+	// 3. SSD tier.
+	if p.leveled != nil {
+		for j, key := range subKeys {
+			if subFound[j] {
+				continue
+			}
+			e, ok, err := p.leveled.Get(key, seq)
+			if err != nil {
+				return err
+			}
+			if ok {
+				subEntries[j], subFound[j], subTiers[j] = e, true, TierSSD
+			}
+		}
+	} else {
+		coalesced, err := p.run.GetBatch(subKeys, seq, subEntries, subFound)
+		db.metrics.MultiGetCoalescedReads.Add(int64(coalesced))
+		if err != nil {
+			return err
+		}
+		markNew(TierSSD)
+	}
+
+	for j, i := range idxs {
+		entries[i], found[i], tiers[i] = subEntries[j], subFound[j], subTiers[j]
+	}
+	p.reads.Add(int64(len(idxs)))
+	return nil
+}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMultiGetMatchesSequentialGets checks the defining contract in every
+// engine mode: a MultiGet batch returns positionally the same results as
+// sequential Gets — across memtable, level-0, and SSD tiers, with updates,
+// tombstones, absent keys, and duplicates in the batch.
+func TestMultiGetMatchesSequentialGets(t *testing.T) {
+	for name, cfg := range allModeConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			const n = 2000
+			for i := 0; i < n; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.MajorCompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			// Updates and deletes land in fresher tiers than the base data.
+			for i := 0; i < n; i += 3 {
+				if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("v2-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 1; i < n; i += 7 {
+				if err := db.Delete([]byte(fmt.Sprintf("key-%06d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 2; i < n; i += 11 {
+				if err := db.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte(fmt.Sprintf("v3-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var keys [][]byte
+			for i := 0; i < n; i += 13 {
+				keys = append(keys, []byte(fmt.Sprintf("key-%06d", i)))
+			}
+			keys = append(keys, []byte("absent-low"), []byte("zzz-absent-high"))
+			keys = append(keys, keys[0], keys[1]) // duplicates within the batch
+
+			res, err := db.MultiGet(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != len(keys) {
+				t.Fatalf("MultiGet returned %d results for %d keys", len(res), len(keys))
+			}
+			for i, k := range keys {
+				want, wantOK, gerr := db.Get(k)
+				if gerr != nil {
+					t.Fatal(gerr)
+				}
+				if res[i].Found != wantOK || !bytes.Equal(res[i].Value, want) {
+					t.Fatalf("MultiGet[%d](%s) = (%q, %v), Get = (%q, %v)",
+						i, k, res[i].Value, res[i].Found, want, wantOK)
+				}
+			}
+			if db.Metrics().MultiGetOps.Load() != 1 {
+				t.Fatalf("MultiGetOps = %d, want 1", db.Metrics().MultiGetOps.Load())
+			}
+			if db.Metrics().MultiGetKeys.Load() != int64(len(keys)) {
+				t.Fatalf("MultiGetKeys = %d, want %d", db.Metrics().MultiGetKeys.Load(), len(keys))
+			}
+		})
+	}
+}
+
+// TestMultiGetAcrossPartitions routes one batch over several partitions and
+// checks the positional mapping survives the parallel fan-out.
+func TestMultiGetAcrossPartitions(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PartitionBoundaries = [][]byte{[]byte("key-0250"), []byte("key-0500"), []byte("key-0750")}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave partitions so adjacent batch positions hit different groups.
+	var keys [][]byte
+	var want []string
+	for i := 0; i < 250; i += 17 {
+		for p := 0; p < 4; p++ {
+			keys = append(keys, []byte(fmt.Sprintf("key-%04d", p*250+i)))
+			want = append(want, fmt.Sprint(p*250+i))
+		}
+	}
+	res, err := db.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !res[i].Found || string(res[i].Value) != want[i] {
+			t.Fatalf("MultiGet[%d](%s) = (%q, %v), want %q", i, keys[i], res[i].Value, res[i].Found, want[i])
+		}
+	}
+}
+
+// TestMultiGetConcurrentWithWrites is a race-mode smoke test: batched reads
+// run against live writers and flushes; every found value must be one the
+// workload could have written for that key.
+func TestMultiGetConcurrentWithWrites(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const nKeys = 200
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+	for i := 0; i < nKeys; i++ {
+		if err := db.Put(key(i), []byte("init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; ; r++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < nKeys; i += 3 {
+				_ = db.Put(key(i), []byte(fmt.Sprintf("round-%d", r)))
+			}
+			if r%5 == 0 {
+				_ = db.FlushAll()
+			}
+		}
+	}()
+	var keys [][]byte
+	for i := 0; i < nKeys; i++ {
+		keys = append(keys, key(i))
+	}
+	for r := 0; r < 30; r++ {
+		res, merr := db.MultiGet(keys)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		for i, gr := range res {
+			if !gr.Found {
+				t.Fatalf("key %s vanished", keys[i])
+			}
+			v := string(gr.Value)
+			if v != "init" && (len(v) < 6 || v[:6] != "round-") {
+				t.Fatalf("key %s = %q: never written", keys[i], v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMultiGetEmptyAndClosed(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.MultiGet(nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("MultiGet(nil) = %v, %v", res, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.MultiGet([][]byte{[]byte("k")}); err != ErrClosed {
+		t.Fatalf("MultiGet on closed db = %v, want ErrClosed", err)
+	}
+}
+
+// TestMultiGetTombstoneNotFound pins the tombstone contract: a deleted key is
+// Found=false with a nil value, exactly like Get.
+func TestMultiGetTombstoneNotFound(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.MultiGet([][]byte{[]byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Found || res[0].Value != nil {
+		t.Fatalf("deleted key = %+v, want not found", res[0])
+	}
+}

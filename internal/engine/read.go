@@ -15,25 +15,26 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 		return nil, false, ErrClosed
 	}
 	start := time.Now()
-	e, ok, tier, err := db.get(key, db.seq.Load())
+	p := db.route(key)
+	e, ok, tier, err := db.get(p, key, db.seq.Load())
 	if err != nil {
 		return nil, false, err
 	}
 	db.metrics.ReadLatency.Record(time.Since(start))
 	db.metrics.CountRead(tier)
-	p := db.route(key)
 	p.reads.Add(1)
 	if !ok || e.Kind == kv.KindDelete {
 		return nil, false, nil
 	}
+	// Copy-out boundary: internal lookups alias cache/block memory.
 	return append([]byte(nil), e.Value...), true, nil
 }
 
-// get resolves a key at a snapshot, reporting the serving tier. It returns
-// tombstones to the caller (Kind).
-func (db *DB) get(key []byte, seq uint64) (kv.Entry, bool, Tier, error) {
-	p := db.route(key)
-
+// get resolves a key at a snapshot within its partition p (resolved once by
+// the caller), reporting the serving tier. It returns tombstones to the
+// caller (Kind). The returned Entry may alias internal block memory; copy
+// before retaining.
+func (db *DB) get(p *partition, key []byte, seq uint64) (kv.Entry, bool, Tier, error) {
 	// 1. Active memtable + immutables, newest first.
 	mem, imms := p.memSnapshot()
 	if e, ok := mem.Get(key, seq); ok {
@@ -101,48 +102,76 @@ type ScanResult struct {
 }
 
 // Scan returns up to limit live entries with start <= key < end (nil end =
-// unbounded). It merges every tier of every intersecting partition.
+// unbounded). It merges every tier of every intersecting partition; when the
+// range spans several partitions they are scanned in parallel with bounded
+// fan-out through the scheduler pool and the per-partition results are
+// concatenated in range order.
 func (db *DB) Scan(start, end []byte, limit int) ([]ScanResult, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
 	begin := time.Now()
 	seq := db.seq.Load()
+	parts := db.partitionsInRange(start, end)
 	var out []ScanResult
-	for _, p := range db.partitionsInRange(start, end) {
-		if limit > 0 && len(out) >= limit {
-			break
+	if len(parts) <= 1 {
+		for _, p := range parts {
+			out = db.scanPartition(p, start, end, limit, seq, out)
 		}
-		its, release := db.partitionIterators(p)
-		for _, it := range its {
-			if start != nil {
-				it.SeekGE(start)
-			} else {
-				it.SeekToFirst()
-			}
-		}
-		merged := kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
-		for ; merged.Valid(); merged.Next() {
-			e := merged.Entry()
-			if end != nil && bytes.Compare(e.Key, end) >= 0 {
-				break
-			}
-			if e.Seq > seq || e.Kind == kv.KindDelete {
-				continue
-			}
-			out = append(out, ScanResult{
-				Key:   append([]byte(nil), e.Key...),
-				Value: append([]byte(nil), e.Value...),
-			})
+	} else {
+		results := make([][]ScanResult, len(parts))
+		db.pool.Fan(len(parts), func(i int) {
+			// Each partition is capped at the global limit; the concatenation
+			// below truncates, so the result set equals the serial scan's.
+			results[i] = db.scanPartition(parts[i], start, end, limit, seq, nil)
+		})
+		for _, r := range results {
 			if limit > 0 && len(out) >= limit {
 				break
 			}
+			out = append(out, r...)
 		}
-		release()
-		p.reads.Add(1)
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
 	}
 	db.metrics.ScanLatency.Record(time.Since(begin))
 	return out, nil
+}
+
+// scanPartition appends partition p's visible entries in [start, end) to out,
+// stopping once out holds limit entries (limit 0 = unbounded).
+func (db *DB) scanPartition(p *partition, start, end []byte, limit int, seq uint64, out []ScanResult) []ScanResult {
+	if limit > 0 && len(out) >= limit {
+		return out
+	}
+	its, release := db.partitionIterators(p)
+	defer release()
+	for _, it := range its {
+		if start != nil {
+			it.SeekGE(start)
+		} else {
+			it.SeekToFirst()
+		}
+	}
+	merged := kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+	for ; merged.Valid(); merged.Next() {
+		e := merged.Entry()
+		if end != nil && bytes.Compare(e.Key, end) >= 0 {
+			break
+		}
+		if e.Seq > seq || e.Kind == kv.KindDelete {
+			continue
+		}
+		// DedupIterator owns freshly allocated buffers per entry, so they can
+		// be handed to the caller without another copy.
+		out = append(out, ScanResult{Key: e.Key, Value: e.Value})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	p.reads.Add(1)
+	return out
 }
 
 // unrefAll releases a ref-held table snapshot.
@@ -155,6 +184,8 @@ func unrefAll(ts []*sstable.Table) {
 // partitionIterators collects iterators over every tier of p, newest tiers
 // first (rank order breaks merge ties in favor of newer data). SSD tables
 // are reference-held; the caller must invoke release when done iterating.
+// SSD sources use scan iterators: readahead spans on cache misses, cache
+// hits served from memory (compaction uses NewCompactionIterator instead).
 func (db *DB) partitionIterators(p *partition) (its []kv.Iterator, release func()) {
 	var held []*sstable.Table
 	mem, imms := p.memSnapshot()
@@ -168,20 +199,20 @@ func (db *DB) partitionIterators(p *partition) (its []kv.Iterator, release func(
 		l0 := p.l0ssdRef()
 		held = append(held, l0...)
 		for _, t := range l0 {
-			its = append(its, t.NewIterator())
+			its = append(its, t.NewScanIterator())
 		}
 	}
 	if p.leveled != nil {
 		l0 := p.leveled.RefL0()
 		held = append(held, l0...)
 		for _, t := range l0 {
-			its = append(its, t.NewIterator())
+			its = append(its, t.NewScanIterator())
 		}
 		for lv := 1; lv <= p.leveled.Levels(); lv++ {
 			ts := p.leveled.Run(lv).RefTables()
 			held = append(held, ts...)
 			for _, t := range ts {
-				its = append(its, t.NewIterator())
+				its = append(its, t.NewScanIterator())
 			}
 		}
 	} else {
@@ -189,7 +220,7 @@ func (db *DB) partitionIterators(p *partition) (its []kv.Iterator, release func(
 		held = append(held, ts...)
 		// The run is non-overlapping: a concatenating iterator seeks only
 		// the single covering table instead of every table.
-		its = append(its, levels.NewConcatIterator(ts))
+		its = append(its, levels.NewConcatScanIterator(ts))
 	}
 	return its, func() { unrefAll(held) }
 }

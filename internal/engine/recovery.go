@@ -355,6 +355,7 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 	}
 	if cfg.BlockCacheBytes > 0 {
 		db.cache = sstable.NewBlockCache(cfg.BlockCacheBytes)
+		db.metrics.cache = db.cache
 	}
 	db.pool = sched.NewPool(cfg.SchedMode, cfg.Workers, cfg.QMax, sd)
 	db.seq.Store(m.Seq)

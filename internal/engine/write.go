@@ -352,5 +352,6 @@ func buildSSTable(db *DB, entries []kv.Entry, cause device.Cause) (*sstable.Tabl
 	if err != nil {
 		return nil, err
 	}
+	t.AttachCache(db.cache)
 	return t, nil
 }

@@ -19,6 +19,7 @@ package crashtest
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pmblade/internal/engine"
@@ -288,6 +289,35 @@ func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device,
 		}
 		if !possiblePrior && !possibleApplied {
 			return "in-flight batch applied non-atomically (mixed keys)"
+		}
+	}
+
+	// MultiGet must agree with sequential Gets key-for-key on the quiescent
+	// recovered store (the batched read path shares snapshots and coalesces
+	// block reads, but is defined as equivalent to N Gets).
+	if len(or.ever) > 0 {
+		keys := make([]string, 0, len(or.ever))
+		for k := range or.ever {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		bkeys := make([][]byte, len(keys))
+		for i, k := range keys {
+			bkeys[i] = []byte(k)
+		}
+		res, merr := db.MultiGet(bkeys)
+		if merr != nil {
+			return fmt.Sprintf("MultiGet failed after recovery: %v", merr)
+		}
+		for i, k := range keys {
+			got, ok, gerr := db.Get(bkeys[i])
+			if gerr != nil {
+				return fmt.Sprintf("Get(%s) failed after recovery: %v", k, gerr)
+			}
+			if res[i].Found != ok || (ok && string(res[i].Value) != string(got)) {
+				return fmt.Sprintf("MultiGet(%s) = (%q, found=%v) disagrees with Get (%q, found=%v)",
+					k, res[i].Value, res[i].Found, got, ok)
+			}
 		}
 	}
 

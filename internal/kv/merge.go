@@ -111,7 +111,10 @@ func (m *MergingIterator) SeekGE(key []byte) {
 
 // DedupIterator wraps an iterator in Compare order and yields only the newest
 // version of each user key, optionally dropping tombstones (for a
-// bottom-level merge where deleted keys can vanish entirely).
+// bottom-level merge where deleted keys can vanish entirely). Entry's Key and
+// Value buffers are freshly allocated per entry and never reused, so callers
+// may retain them past Next without copying (the engine's scan path relies on
+// this to avoid a second copy).
 type DedupIterator struct {
 	in            Iterator
 	dropTombstone bool

@@ -178,6 +178,54 @@ func (l *Level0) Get(key []byte, seq uint64) (e kv.Entry, ok bool, stats GetStat
 	return kv.Entry{}, false, stats
 }
 
+// GetBatch resolves several keys with one table-set snapshot (Get snapshots
+// per call; a MultiGet batch pays the two slice copies once). out and found
+// are parallel to keys; positions already marked found are skipped, fence
+// keys and Bloom filters are probed before any entry data is touched.
+func (l *Level0) GetBatch(keys [][]byte, seq uint64, out []kv.Entry, found []bool) (stats GetStats) {
+	unsorted, sorted := l.snapshot()
+	for i, key := range keys {
+		if found[i] {
+			continue
+		}
+		var best kv.Entry
+		hit := false
+		for _, t := range unsorted {
+			if bytes.Compare(key, t.Smallest()) < 0 || bytes.Compare(key, t.Largest()) > 0 ||
+				!t.MayContain(key) {
+				stats.FilterSkips++
+				continue
+			}
+			stats.Probed++
+			stats.FilterHits++
+			if cand, ok := t.Get(key, seq); ok {
+				if !hit || cand.Seq > best.Seq {
+					best, hit = cand, true
+				}
+			}
+		}
+		if hit {
+			out[i], found[i] = best, true
+			continue
+		}
+		for _, t := range sorted {
+			if bytes.Compare(key, t.Smallest()) >= 0 && bytes.Compare(key, t.Largest()) <= 0 {
+				if !t.MayContain(key) {
+					stats.FilterSkips++
+					break
+				}
+				stats.Probed++
+				stats.FilterHits++
+				if cand, ok := t.Get(key, seq); ok {
+					out[i], found[i] = cand, true
+				}
+				break
+			}
+		}
+	}
+	return stats
+}
+
 // Iterators returns iterators over every table (unsorted newest first, then
 // the sorted run) for merge reads and compaction.
 func (l *Level0) Iterators() []kv.Iterator {

@@ -15,6 +15,7 @@ type ConcatIterator struct {
 	tables []*sstable.Table
 	ti     int
 	cur    *sstable.Iterator
+	scan   bool // open per-table scan iterators (readahead + cache fill)
 }
 
 // NewConcatIterator wraps tables, which must be sorted by range and
@@ -22,6 +23,20 @@ type ConcatIterator struct {
 // referenced while iterating.
 func NewConcatIterator(tables []*sstable.Table) *ConcatIterator {
 	return &ConcatIterator{tables: tables, ti: -1}
+}
+
+// NewConcatScanIterator is NewConcatIterator with per-table scan iterators:
+// sequential readahead through the block cache, for client range scans.
+func NewConcatScanIterator(tables []*sstable.Table) *ConcatIterator {
+	return &ConcatIterator{tables: tables, ti: -1, scan: true}
+}
+
+// open returns a fresh iterator over tables[ti] in the configured mode.
+func (it *ConcatIterator) open(ti int) *sstable.Iterator {
+	if it.scan {
+		return it.tables[ti].NewScanIterator()
+	}
+	return it.tables[ti].NewIterator()
 }
 
 // Valid implements kv.Iterator.
@@ -35,7 +50,7 @@ func (it *ConcatIterator) Next() {
 	it.cur.Next()
 	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
 		it.ti++
-		it.cur = it.tables[it.ti].NewIterator()
+		it.cur = it.open(it.ti)
 		it.cur.SeekToFirst()
 	}
 }
@@ -47,11 +62,11 @@ func (it *ConcatIterator) SeekToFirst() {
 		return
 	}
 	it.ti = 0
-	it.cur = it.tables[0].NewIterator()
+	it.cur = it.open(0)
 	it.cur.SeekToFirst()
 	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
 		it.ti++
-		it.cur = it.tables[it.ti].NewIterator()
+		it.cur = it.open(it.ti)
 		it.cur.SeekToFirst()
 	}
 }
@@ -73,11 +88,11 @@ func (it *ConcatIterator) SeekGE(key []byte) {
 		return
 	}
 	it.ti = lo
-	it.cur = it.tables[lo].NewIterator()
+	it.cur = it.open(lo)
 	it.cur.SeekGE(key)
 	for !it.cur.Valid() && it.ti+1 < len(it.tables) {
 		it.ti++
-		it.cur = it.tables[it.ti].NewIterator()
+		it.cur = it.open(it.ti)
 		it.cur.SeekToFirst()
 	}
 }

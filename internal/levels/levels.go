@@ -80,6 +80,64 @@ func (r *Run) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
 	return t.Get(key, seq)
 }
 
+// GetBatch resolves several keys against the run in one pass: each key's
+// covering table is located by binary search, the distinct covering tables
+// are reference-held once, and every table resolves its keys through
+// Table.GetBatch, which probes Bloom filters first and coalesces adjacent
+// block reads into single device reads. out and found are parallel to keys;
+// positions already marked found are skipped. It reports the block reads
+// saved by coalescing.
+func (r *Run) GetBatch(keys [][]byte, seq uint64, out []kv.Entry, found []bool) (coalesced int, err error) {
+	r.mu.RLock()
+	tables := r.tables
+	var held []*sstable.Table
+	lastHeld := -1
+	for i, key := range keys {
+		if found[i] {
+			continue
+		}
+		lo, hi := 0, len(tables)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if bytes.Compare(tables[mid].Largest(), key) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(tables) && bytes.Compare(key, tables[lo].Smallest()) >= 0 && lo != lastHeld {
+			// Keys commonly arrive sorted, so covering tables repeat in a
+			// run; the lastHeld check dedups without a set for that case.
+			already := false
+			for _, t := range held {
+				if t == tables[lo] {
+					already = true
+					break
+				}
+			}
+			if !already {
+				tables[lo].Ref()
+				held = append(held, tables[lo])
+			}
+			lastHeld = lo
+		}
+	}
+	r.mu.RUnlock()
+	for _, t := range held {
+		// Each table sees the full batch: its fence keys skip foreign keys.
+		n, gerr := t.GetBatch(keys, seq, out, found)
+		coalesced += n
+		if gerr != nil {
+			err = gerr
+			break
+		}
+	}
+	for _, t := range held {
+		t.Unref()
+	}
+	return coalesced, err
+}
+
 // RefTables snapshots the run with a reference on every table; the caller
 // must Unref each when done (long reads such as scans use this).
 func (r *Run) RefTables() []*sstable.Table {

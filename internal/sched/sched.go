@@ -255,6 +255,28 @@ func (p *Pool) CloseBackground() {
 	}
 }
 
+// Fan runs fn(0..n-1) to completion under the pool's execution model — the
+// bounded fan-out used by parallel client scans and MultiGet: concurrency is
+// capped by the pool's worker/coroutine budget, so a wide read cannot spawn
+// unbounded goroutines or starve compaction of CPU slots.
+func (p *Pool) Fan(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		// Not staged through ctx.Read: client reads must not count toward
+		// q_comp, which the admission policy treats as compaction I/O.
+		tasks[i] = func(*Ctx) { fn(i) }
+	}
+	p.Run(tasks)
+}
+
 // Run executes tasks to completion under the pool's model.
 func (p *Pool) Run(tasks []Task) {
 	switch p.mode {

@@ -1,0 +1,127 @@
+package sstable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pmblade/internal/ssd"
+)
+
+func TestBlockCachePutReplaces(t *testing.T) {
+	cache := NewBlockCache(1 << 20)
+	cache.put(ssd.FileID(1), 0, []byte("stale-stale-stale"))
+	cache.put(ssd.FileID(1), 0, []byte("fresh"))
+	got, ok := cache.get(ssd.FileID(1), 0)
+	if !ok || string(got) != "fresh" {
+		t.Fatalf("get after replace = %q, %v; want \"fresh\"", got, ok)
+	}
+	if cache.Used() != int64(len("fresh")) {
+		t.Fatalf("used = %d after replace, want %d", cache.Used(), len("fresh"))
+	}
+}
+
+func TestBlockCacheStatsCounters(t *testing.T) {
+	cache := NewBlockCache(1 << 20)
+	if _, ok := cache.get(ssd.FileID(1), 0); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	cache.put(ssd.FileID(1), 0, []byte("x"))
+	if _, ok := cache.get(ssd.FileID(1), 0); !ok {
+		t.Fatal("cached block missing")
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.Capacity != 1<<20 {
+		t.Fatalf("capacity = %d, want %d", st.Capacity, 1<<20)
+	}
+	per := cache.ShardStats()
+	if len(per) != cache.Shards() {
+		t.Fatalf("ShardStats len = %d, want %d", len(per), cache.Shards())
+	}
+	var hits int64
+	for _, s := range per {
+		hits += s.Hits
+	}
+	if hits != st.Hits {
+		t.Fatalf("per-shard hits sum %d != aggregate %d", hits, st.Hits)
+	}
+}
+
+func TestBlockCacheEvictionCounted(t *testing.T) {
+	cache := NewBlockCache(10_000)
+	for i := 0; i < 100; i++ {
+		cache.put(ssd.FileID(1), int64(i*1000), make([]byte, 1000))
+	}
+	if cache.Stats().Evictions == 0 {
+		t.Fatal("overfilled cache recorded zero evictions")
+	}
+}
+
+// TestBlockCacheConcurrent hammers get/put/DropFile from many goroutines
+// (run under -race) and checks the occupancy invariants afterwards: used
+// never negative, and never above capacity once the churn stops.
+func TestBlockCacheConcurrent(t *testing.T) {
+	const (
+		capacity = 64 << 10
+		files    = 4
+		offsets  = 32
+		workers  = 8
+		rounds   = 500
+	)
+	cache := NewBlockCache(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				f := ssd.FileID(1 + (i+w)%files)
+				off := int64(((i * 7) % offsets) * 4096)
+				switch (i + w) % 5 {
+				case 0:
+					cache.DropFile(f)
+				case 1, 2:
+					body := []byte(fmt.Sprintf("%d-%d-%d", w, f, i))
+					cache.put(f, off, body)
+				default:
+					if b, ok := cache.get(f, off); ok && len(b) == 0 {
+						t.Error("cached block with empty body")
+						return
+					}
+				}
+				if u := cache.Used(); u < 0 {
+					t.Errorf("used went negative: %d", u)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Used < 0 {
+		t.Fatalf("used negative after churn: %d", st.Used)
+	}
+	if st.Used > st.Capacity {
+		t.Fatalf("used %d exceeds capacity %d after churn", st.Used, st.Capacity)
+	}
+	// Every surviving entry must still round-trip.
+	for f := 1; f <= files; f++ {
+		cache.DropFile(ssd.FileID(f))
+	}
+	if u := cache.Used(); u != 0 {
+		t.Fatalf("used = %d after dropping every file, want 0", u)
+	}
+}
+
+func TestBlockCacheShardCountPowerOfTwo(t *testing.T) {
+	for _, capacity := range []int64{1, 4096, 10_000, 1 << 20, 64 << 20} {
+		c := NewBlockCache(capacity)
+		n := c.Shards()
+		if n <= 0 || n&(n-1) != 0 {
+			t.Fatalf("capacity %d: shard count %d not a power of two", capacity, n)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"pmblade/internal/bloom"
@@ -311,6 +313,12 @@ type Table struct {
 // Ref takes a reference, keeping the backing file alive.
 func (t *Table) Ref() { t.refs.Add(1) }
 
+// AttachCache points the table at a shared block cache (nil leaves it
+// uncached). Builder.Finish cannot know the engine's cache, so the engine
+// attaches it here before publishing a freshly built table to readers; it
+// must not be called on a table already visible to other goroutines.
+func (t *Table) AttachCache(c *BlockCache) { t.cache = c }
+
 // Unref drops a reference; the last drop deletes the backing file and its
 // cached blocks.
 func (t *Table) Unref() {
@@ -507,13 +515,29 @@ func decodeBlockEntries(body []byte, out []kv.Entry) ([]kv.Entry, error) {
 		val := data[:vlen]
 		data = data[vlen:]
 		key, seq, kind := kv.ParseInternalKey(ik)
-		out = append(out, kv.Entry{Key: key, Value: append([]byte(nil), val...), Seq: seq, Kind: kind})
+		// Value aliases body: entries are only valid while the caller retains
+		// the block (iterators hold it until the next block load; consumers
+		// that outlive that — dedup, Scan — copy out).
+		out = append(out, kv.Entry{Key: key, Value: val, Seq: seq, Kind: kind})
 		prevIK = ik
 	}
 	return out, nil
 }
 
+// getScratch holds the per-lookup probe and key-reconstruction buffers so a
+// hot Get allocates nothing; instances are pooled across lookups.
+type getScratch struct {
+	probe []byte
+	ik    []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(getScratch) }}
+
 // Get returns the newest version of key visible at seq.
+//
+// The returned Entry's Value aliases cached or freshly decoded block memory:
+// it is safe to read concurrently but must be copied before it is retained
+// past the public API boundary (the engine copies at DB.Get).
 func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
 	if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
 		return kv.Entry{}, false, nil
@@ -521,23 +545,15 @@ func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
 	if t.filter != nil && !t.filter.MayContain(key) {
 		return kv.Entry{}, false, nil
 	}
-	probe := kv.AppendInternalKey(nil, key, seq, kv.KindDelete)
-	// First block whose lastIK >= probe may contain the answer.
-	lo, hi := 0, len(t.index)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if kv.CompareInternalKeys(t.index[mid].lastIK, probe) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	for bi := lo; bi < len(t.index); bi++ {
+	s := scratchPool.Get().(*getScratch)
+	defer scratchPool.Put(s)
+	s.probe = kv.AppendInternalKey(s.probe[:0], key, seq, kv.KindDelete)
+	for bi := t.seekBlock(s.probe); bi < len(t.index); bi++ {
 		body, err := t.readBlock(t.index[bi].handle, device.CauseClientRead)
 		if err != nil {
 			return kv.Entry{}, false, err
 		}
-		e, status, err := findInBlock(body, key, seq)
+		e, status, err := findInBlock(body, key, seq, s)
 		if err != nil {
 			return kv.Entry{}, false, err
 		}
@@ -552,6 +568,138 @@ func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
 	return kv.Entry{}, false, nil
 }
 
+// seekBlock returns the first block whose lastIK >= probe — the only block
+// that can contain the probe's key (or the block after which the search
+// continues).
+func (t *Table) seekBlock(probe []byte) int {
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kv.CompareInternalKeys(t.index[mid].lastIK, probe) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// batchProbe tracks one key of a GetBatch through its candidate blocks.
+type batchProbe struct {
+	idx int // position in the caller's keys slice
+	bi  int // candidate block
+}
+
+// GetBatch resolves several keys against this table in one pass: bloom and
+// fence checks first, then candidate blocks are resolved for every surviving
+// key, cache misses for adjacent blocks are coalesced into a single device
+// ReadAt, and each block is searched once for all keys it may hold.
+//
+// out and found are parallel to keys; entries already marked found are
+// skipped. Like Get, returned Values alias block memory. It reports how many
+// block reads were saved by coalescing (shared blocks and merged spans).
+func (t *Table) GetBatch(keys [][]byte, seq uint64, out []kv.Entry, found []bool) (coalesced int, err error) {
+	s := scratchPool.Get().(*getScratch)
+	defer scratchPool.Put(s)
+	var pending []batchProbe
+	for i, key := range keys {
+		if found[i] {
+			continue
+		}
+		if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+			continue
+		}
+		if t.filter != nil && !t.filter.MayContain(key) {
+			continue
+		}
+		s.probe = kv.AppendInternalKey(s.probe[:0], key, seq, kv.KindDelete)
+		if bi := t.seekBlock(s.probe); bi < len(t.index) {
+			pending = append(pending, batchProbe{idx: i, bi: bi})
+		}
+	}
+	for len(pending) > 0 {
+		sort.Slice(pending, func(a, b int) bool { return pending[a].bi < pending[b].bi })
+		bodies, saved, rerr := t.readBlockSpans(pending)
+		if rerr != nil {
+			return coalesced, rerr
+		}
+		coalesced += saved
+		var next []batchProbe
+		for _, p := range pending {
+			e, status, ferr := findInBlock(bodies[p.bi], keys[p.idx], seq, s)
+			if ferr != nil {
+				return coalesced, ferr
+			}
+			switch status {
+			case foundHit:
+				out[p.idx] = e
+				found[p.idx] = true
+			case foundContinue:
+				if p.bi+1 < len(t.index) {
+					next = append(next, batchProbe{idx: p.idx, bi: p.bi + 1})
+				}
+			}
+			// foundPast: key is absent from this table.
+		}
+		pending = next
+	}
+	return coalesced, nil
+}
+
+// readBlockSpans fetches every distinct block the probes need. Cached blocks
+// are served from the cache; misses are merged into maximal spans of
+// file-adjacent blocks, each fetched with one device ReadAt, decoded and
+// inserted into the cache. probes must be sorted by block index. It reports
+// how many per-block reads were avoided (duplicate blocks plus span merges).
+func (t *Table) readBlockSpans(probes []batchProbe) (map[int][]byte, int, error) {
+	bodies := make(map[int][]byte, len(probes))
+	var missing []int // distinct cache-missing block indices, ascending
+	for _, p := range probes {
+		if _, ok := bodies[p.bi]; ok {
+			continue
+		}
+		if t.cache != nil {
+			if blk, ok := t.cache.get(t.file, t.index[p.bi].handle.off); ok {
+				bodies[p.bi] = blk
+				continue
+			}
+		}
+		if n := len(missing); n > 0 && missing[n-1] == p.bi {
+			continue
+		}
+		bodies[p.bi] = nil // reserve so duplicates don't re-queue
+		missing = append(missing, p.bi)
+	}
+	saved := len(probes) - len(bodies)
+	for lo := 0; lo < len(missing); {
+		hi := lo
+		for hi+1 < len(missing) && missing[hi+1] == missing[hi]+1 {
+			hi++
+		}
+		first, last := missing[lo], missing[hi]
+		start := t.index[first].handle.off
+		span := t.index[last].handle.off + t.index[last].handle.len - start
+		raw := make([]byte, span)
+		if err := t.dev.ReadAt(t.file, start, raw, device.CauseClientRead); err != nil {
+			return nil, saved, err
+		}
+		for bi := first; bi <= last; bi++ {
+			h := t.index[bi].handle
+			body, err := decodeRawBlock(raw[h.off-start : h.off-start+h.len])
+			if err != nil {
+				return nil, saved, err
+			}
+			bodies[bi] = body
+			if t.cache != nil {
+				t.cache.put(t.file, h.off, body)
+			}
+		}
+		saved += hi - lo // blocks piggybacked on this span's single ReadAt
+		lo = hi + 1
+	}
+	return bodies, saved, nil
+}
+
 // findStatus reports the outcome of an in-block search.
 type findStatus int
 
@@ -563,8 +711,10 @@ const (
 
 // findInBlock binary-searches the block's restart points, then decodes
 // forward from the chosen restart — the RocksDB lookup path, which avoids
-// materializing the whole block.
-func findInBlock(body []byte, key []byte, seq uint64) (kv.Entry, findStatus, error) {
+// materializing the whole block. s provides reusable probe/key buffers; on a
+// hit the Entry's Key is freshly allocated (the reconstruction buffer is
+// pooled) but its Value aliases body.
+func findInBlock(body []byte, key []byte, seq uint64, s *getScratch) (kv.Entry, findStatus, error) {
 	if len(body) < 4 {
 		return kv.Entry{}, foundPast, ErrCorrupt
 	}
@@ -598,7 +748,8 @@ func findInBlock(body []byte, key []byte, seq uint64) (kv.Entry, findStatus, err
 		}
 		return p[h : h+int(unshared)], nil
 	}
-	probe := kv.AppendInternalKey(nil, key, seq, kv.KindDelete)
+	probe := kv.AppendInternalKey(s.probe[:0], key, seq, kv.KindDelete)
+	s.probe = probe
 	// Last restart whose key <= probe.
 	lo, hi := 0, nRestarts
 	for lo < hi {
@@ -619,7 +770,8 @@ func findInBlock(body []byte, key []byte, seq uint64) (kv.Entry, findStatus, err
 	}
 	// Linear decode from the restart.
 	data := body[start:dataEnd]
-	var ikBuf []byte
+	ikBuf := s.ik[:0]
+	defer func() { s.ik = ikBuf[:0] }()
 	for len(data) > 0 {
 		shared, n := binary.Uvarint(data)
 		if n <= 0 {
@@ -643,16 +795,17 @@ func findInBlock(body []byte, key []byte, seq uint64) (kv.Entry, findStatus, err
 		data = data[unshared:]
 		val := data[:vlen]
 		data = data[vlen:]
-		ukey, s, kind := kv.ParseInternalKey(ikBuf)
+		ukey, es, kind := kv.ParseInternalKey(ikBuf)
 		c := bytes.Compare(ukey, key)
 		if c > 0 {
 			return kv.Entry{}, foundPast, nil
 		}
-		if c == 0 && s <= seq {
+		if c == 0 && es <= seq {
+			// Key is copied out of the pooled buffer; Value aliases body.
 			return kv.Entry{
 				Key:   append([]byte(nil), ukey...),
-				Value: append([]byte(nil), val...),
-				Seq:   s,
+				Value: val,
+				Seq:   es,
 				Kind:  kind,
 			}, foundHit, nil
 		}
@@ -671,6 +824,7 @@ type Iterator struct {
 	err     error
 
 	readahead int    // bytes per device read when scanning (0 = one block)
+	fillCache bool   // consult and populate the block cache around readahead
 	raBuf     []byte // raw bytes covering blocks [raFirst, raLast]
 	raFirst   int
 	raLast    int
@@ -681,12 +835,26 @@ type Iterator struct {
 func (t *Table) NewIterator() *Iterator { return &Iterator{t: t, bi: -1, raFirst: -1} }
 
 // NewCompactionIterator returns an iterator with large sequential readahead
-// — the S1 read pattern of major compaction.
+// — the S1 read pattern of major compaction. It bypasses the block cache
+// entirely (a one-pass bulk read must not pollute it).
 func (t *Table) NewCompactionIterator(readaheadBytes int) *Iterator {
 	if readaheadBytes < BlockSize {
 		readaheadBytes = 256 << 10
 	}
 	return &Iterator{t: t, bi: -1, raFirst: -1, readahead: readaheadBytes}
+}
+
+// ScanReadahead is the per-table readahead window of client range scans:
+// large enough to amortize device latency over ~16 blocks, small enough not
+// to over-read short scans.
+const ScanReadahead = 64 << 10
+
+// NewScanIterator returns an iterator tuned for client range scans: blocks
+// already cached are served from the block cache, and misses fetch a
+// readahead span with one device read, populating the cache so repeated
+// scans over the same range run memory-speed.
+func (t *Table) NewScanIterator() *Iterator {
+	return &Iterator{t: t, bi: -1, raFirst: -1, readahead: ScanReadahead, fillCache: t.cache != nil}
 }
 
 // Err reports the first I/O or corruption error the iterator hit.
@@ -748,13 +916,28 @@ func (it *Iterator) rawBlock(bi int) ([]byte, error) {
 func (it *Iterator) loadBlock(bi int) bool {
 	var body []byte
 	var err error
-	if it.readahead > 0 {
+	switch {
+	case it.fillCache:
+		h := it.t.index[bi].handle
+		if cached, ok := it.t.cache.get(it.t.file, h.off); ok {
+			body = cached
+		} else {
+			var raw []byte
+			raw, err = it.rawBlock(bi)
+			if err == nil {
+				body, err = decodeRawBlock(raw)
+				if err == nil {
+					it.t.cache.put(it.t.file, h.off, body)
+				}
+			}
+		}
+	case it.readahead > 0:
 		var raw []byte
 		raw, err = it.rawBlock(bi)
 		if err == nil {
 			body, err = decodeRawBlock(raw)
 		}
-	} else {
+	default:
 		body, err = it.t.readBlock(it.t.index[bi].handle, device.CauseClientRead)
 	}
 	if err != nil {

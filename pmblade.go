@@ -131,6 +131,12 @@ func (db *DB) Delete(key []byte) error { return db.eng.Delete(key) }
 // Get returns the value of key; ok is false when absent or deleted.
 func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.eng.Get(key) }
 
+// MultiGet resolves many keys at one snapshot; results are positionally
+// identical to len(keys) sequential Gets but share routing, per-partition
+// snapshots, and coalesced SSD block reads, and partitions resolve in
+// parallel.
+func (db *DB) MultiGet(keys [][]byte) ([]engine.GetResult, error) { return db.eng.MultiGet(keys) }
+
 // KV is one key-value pair returned by Scan.
 type KV struct {
 	Key, Value []byte
