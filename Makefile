@@ -3,7 +3,7 @@
 GO ?= go
 VET_BIN := $(CURDIR)/bin/pmblade-vet
 
-.PHONY: build test race vet pmblade-vet crash bench-smoke verify clean
+.PHONY: build test race vet pmblade-vet crash bench-smoke stress-compact verify clean
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,14 @@ crash:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Engine' -benchtime=1x .
 
+# Concurrent-eviction stress: a seeded mixed workload against a tiny PM that
+# forces repeated cost-based evictions while writers and readers run, under
+# the race detector, plus the pause-free-eviction acceptance tests.
+stress-compact:
+	$(GO) test -race -count=1 -run 'TestStressCompactEvict|TestEvictionDoesNotBlockPreservedPuts|TestEvictionVictimFaultIsolation|TestConcurrentEvictTriggersJoinOnePass' ./internal/engine
+
 # verify is the pre-merge gate: everything CI checks, in one target.
-verify: build vet pmblade-vet race crash bench-smoke
+verify: build vet pmblade-vet race stress-compact crash bench-smoke
 
 clean:
 	rm -rf bin

@@ -74,6 +74,12 @@ const AllowDirective = "pmblade:allow"
 // a function (read by analyzers such as guardedby and lockorder).
 const HoldsDirective = "pmblade:holds"
 
+// CompactsDirective marks a function that performs compaction or flush
+// device I/O. The lockorder analyzer forbids calling such a function —
+// directly or transitively — while majorMu is held: the global lock covers
+// only the victim decision, never the I/O (DESIGN.md §5.6).
+const CompactsDirective = "pmblade:compacts"
+
 // suppressedLines returns, per file, the set of lines on which diagnostics
 // of the named analyzer are suppressed. A //pmblade:allow comment covers its
 // own line and the line below it (so it can trail the statement or sit on

@@ -12,14 +12,23 @@
 //     flush and internal compaction run in parallel), but holding two or
 //     more maint locks simultaneously requires majorMu, and loops that
 //     accumulate maint locks must walk partitions in ascending order.
+//  4. majorMu is a decision lock, not an I/O lock: it may cover the Eq. 3
+//     knapsack and the victim-set snapshot, but never the compaction or
+//     flush I/O itself. Functions that perform such I/O carry a
+//     //pmblade:compacts directive; calling one — directly or through any
+//     callee that may — while majorMu is held is the global write stall
+//     PR 5 removed (DESIGN.md §5.6).
 //
-// The analysis is intra-procedural over source order, with one package-wide
-// fixpoint: a function "may acquire majorMu" if it locks it directly or
-// calls a same-package function that may. Holding a maint lock across a call
-// to such a function is rule 2's violation. A maint.Lock inside a loop with
-// no maint.Unlock in the same loop body is treated as multi-partition
-// acquisition (rule 3); a descending loop counter there is a lock-order
-// inversion between partitions.
+// The analysis is intra-procedural over source order, with two package-wide
+// fixpoints: a function "may acquire majorMu" if it locks it directly or
+// calls a same-package function that may, and a function "may compact" if
+// it carries //pmblade:compacts or calls a same-package function that may.
+// Holding a maint lock across a call to a may-acquire-majorMu function is
+// rule 2's violation; holding majorMu across a call to a may-compact
+// function is rule 4's. A maint.Lock inside a loop with no maint.Unlock in
+// the same loop body is treated as multi-partition acquisition (rule 3); a
+// descending loop counter there is a lock-order inversion between
+// partitions.
 package lockorder
 
 import (
@@ -34,8 +43,9 @@ import (
 // Analyzer is the lockorder pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
-	Doc: "enforce the majorMu-before-maint lock hierarchy and ascending " +
-		"multi-partition maint acquisition in internal/engine",
+	Doc: "enforce the majorMu-before-maint lock hierarchy, ascending " +
+		"multi-partition maint acquisition, and the decision-only majorMu " +
+		"contract (no compaction I/O under majorMu) in internal/engine",
 	Run: run,
 }
 
@@ -71,9 +81,9 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	mayLockMajor := computeMayLockMajor(pass, decls)
+	mayLockMajor, mayCompact := computeCallFacts(pass, decls)
 	for _, fd := range decls {
-		checkFunc(pass, fd, mayLockMajor)
+		checkFunc(pass, fd, mayLockMajor, mayCompact)
 	}
 	return nil
 }
@@ -114,19 +124,27 @@ func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// computeMayLockMajor runs the package-wide fixpoint of rule 2's transitive
-// "may acquire majorMu" property.
-func computeMayLockMajor(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+// computeCallFacts runs the package-wide fixpoints of the two transitive
+// properties: rule 2's "may acquire majorMu" (locks it directly, or calls a
+// same-package function that may) and rule 4's "may compact" (carries
+// //pmblade:compacts, or calls a same-package function that may). Both
+// traversals include function literals: a closure handed to a fan-out still
+// runs while the caller's invariants are in force.
+func computeCallFacts(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) (mayLockMajor, mayCompact map[*types.Func]bool) {
 	calls := map[*types.Func][]*types.Func{}
-	may := map[*types.Func]bool{}
+	mayLockMajor = map[*types.Func]bool{}
+	mayCompact = map[*types.Func]bool{}
 	for fn, fd := range decls {
+		if len(analysis.CommentDirectives(analysis.CompactsDirective, fd.Doc)) > 0 {
+			mayCompact[fn] = true
+		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
 			if _, mutex, op, ok := mutexCall(call); ok && mutex == majorName && op == "Lock" {
-				may[fn] = true
+				mayLockMajor[fn] = true
 			}
 			if target := callee(pass, call); target != nil {
 				calls[fn] = append(calls[fn], target)
@@ -134,22 +152,26 @@ func computeMayLockMajor(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDec
 			return true
 		})
 	}
-	for changed := true; changed; {
-		changed = false
-		for fn, targets := range calls {
-			if may[fn] {
-				continue
-			}
-			for _, t := range targets {
-				if may[t] {
-					may[fn] = true
-					changed = true
-					break
+	propagate := func(may map[*types.Func]bool) {
+		for changed := true; changed; {
+			changed = false
+			for fn, targets := range calls {
+				if may[fn] {
+					continue
+				}
+				for _, t := range targets {
+					if may[t] {
+						may[fn] = true
+						changed = true
+						break
+					}
 				}
 			}
 		}
 	}
-	return may
+	propagate(mayLockMajor)
+	propagate(mayCompact)
+	return mayLockMajor, mayCompact
 }
 
 type event struct {
@@ -181,7 +203,7 @@ func isDescendingFor(fs *ast.ForStmt) bool {
 	return false
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor, mayCompact map[*types.Func]bool) {
 	var events []event
 	var deferSpans [][2]token.Pos
 	var loops []loopInfo
@@ -223,7 +245,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor map[*types.Fu
 					}
 					events = append(events, event{pos: n.Pos(), kind: kind, base: base})
 				}
-			} else if fn := callee(pass, n); fn != nil && mayLockMajor[fn] {
+			} else if fn := callee(pass, n); fn != nil && (mayLockMajor[fn] || mayCompact[fn]) {
 				events = append(events, event{pos: n.Pos(), kind: "call", fn: fn})
 			}
 		}
@@ -297,10 +319,15 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor map[*types.Fu
 				delete(maintHeld, e.base)
 			}
 		case "call":
-			if len(maintHeld) > 0 {
+			if len(maintHeld) > 0 && mayLockMajor[e.fn] {
 				pass.Reportf(e.pos,
 					"%s may acquire majorMu, called while holding a partition maint lock (%s); lock order is majorMu before maint",
 					e.fn.Name(), oneKey(maintHeld))
+			}
+			if majorHeld > 0 && mayCompact[e.fn] {
+				pass.Reportf(e.pos,
+					"%s performs compaction I/O, called while majorMu is held; majorMu covers only the victim decision — snapshot the victims and release it before compacting",
+					e.fn.Name())
 			}
 		}
 	}

@@ -123,3 +123,51 @@ func suppressedPair(a, b *partition) {
 	b.maint.Unlock()
 	a.maint.Unlock()
 }
+
+// compactToSSD stands in for the real runMajor: the function that performs
+// the compaction device I/O itself (rule 4's roots carry the directive).
+//
+//pmblade:compacts
+func (db *DB) compactToSSD(p *partition) { _ = p }
+
+// compactVictim performs compaction I/O under the victim's own maint lock —
+// the sanctioned per-victim shape; no majorMu involved.
+func (db *DB) compactVictim(p *partition) {
+	p.maint.Lock()
+	db.compactToSSD(p)
+	p.maint.Unlock()
+}
+
+// snapshotThenCompact is the sanctioned rule-4 shape: the decision happens
+// under majorMu, the lock is released, and only then do victims compact.
+func (db *DB) snapshotThenCompact() {
+	db.majorMu.Lock()
+	victims := db.partitions
+	db.majorMu.Unlock()
+	for _, q := range victims {
+		db.compactVictim(q)
+	}
+}
+
+// evictUnderMajor violates rule 4 directly: compaction I/O with majorMu held.
+func (db *DB) evictUnderMajor(p *partition) {
+	db.majorMu.Lock()
+	db.compactToSSD(p) // want `compactToSSD performs compaction I/O, called while majorMu is held`
+	db.majorMu.Unlock()
+}
+
+// evictUnderMajorTransitive violates rule 4 through a callee: compactVictim
+// does not carry the directive but calls a function that does.
+func (db *DB) evictUnderMajorTransitive(p *partition) {
+	db.majorMu.Lock()
+	defer db.majorMu.Unlock()
+	db.compactVictim(p) // want `compactVictim performs compaction I/O, called while majorMu is held`
+}
+
+// evictLockedCompacts violates rule 4 with the lock inherited from the
+// caller via the holds directive.
+//
+//pmblade:holds majorMu
+func (db *DB) evictLockedCompacts(p *partition) {
+	db.compactToSSD(p) // want `compactToSSD performs compaction I/O, called while majorMu is held`
+}

@@ -9,5 +9,5 @@ import (
 
 func TestNondeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer,
-		"internal/costmodel", "freepkg")
+		"internal/costmodel", "internal/engine", "freepkg")
 }

@@ -1,0 +1,11 @@
+// Package engine is a fixture whose import path ends in internal/engine:
+// the nondeterminism analyzer applies only to the compaction decision file
+// (compact.go), not to the rest of the package.
+package engine
+
+import "time"
+
+func costObservation() float64 {
+	since := time.Now()                // want `time\.Now in deterministic package`
+	return time.Since(since).Seconds() // want `time\.Since in deterministic package`
+}

@@ -1,0 +1,9 @@
+package engine
+
+import "time"
+
+// Operational files outside compact.go may read the wall clock freely:
+// latency histograms measure real time.
+func opLatency(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -81,6 +81,17 @@ func Spin(d time.Duration) {
 	}
 }
 
+// NowNanos reads the wall clock as Unix nanoseconds. It exists so code whose
+// files sit inside the nondeterminism analyzer's scope (the cost-model
+// observation path in internal/engine) takes its clock readings through the
+// single sanctioned injection point instead of importing time directly.
+func NowNanos() int64 { return time.Now().UnixNano() }
+
+// SecondsSince reports the seconds elapsed since a NowNanos reading.
+func SecondsSince(ns int64) float64 {
+	return time.Since(time.Unix(0, ns)).Seconds()
+}
+
 // Stopwatch measures elapsed wall time.
 type Stopwatch struct {
 	start time.Time

@@ -58,3 +58,15 @@ func TestStopwatch(t *testing.T) {
 		t.Fatalf("stopwatch read %v after ~1ms", sw.Elapsed())
 	}
 }
+
+func TestNowNanosMonotonicEnough(t *testing.T) {
+	a := NowNanos()
+	Spin(time.Millisecond)
+	b := NowNanos()
+	if b <= a {
+		t.Fatalf("NowNanos did not advance across a 1ms spin: %d -> %d", a, b)
+	}
+	if got := SecondsSince(a); got < 0.0005 || got > 5 {
+		t.Fatalf("SecondsSince(~1ms ago) = %v", got)
+	}
+}

@@ -186,6 +186,15 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 		}
 		builderBytes = 0
 	}
+	// fail abandons the subtask: tables already sealed by this subtask were
+	// never handed to the caller and nothing references their files, so they
+	// must be deleted here or they would sit on the device forever.
+	fail := func(err error) ([]*sstable.Table, error) {
+		for _, t := range out {
+			t.Delete()
+		}
+		return nil, err
+	}
 	finishBuilder := func() error {
 		if builder == nil {
 			return nil
@@ -295,7 +304,7 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 			if builder != nil {
 				builder.Abandon()
 			}
-			return nil, buildErr
+			return fail(buildErr)
 		}
 		// S3: flush the write buffer when it reached capacity.
 		if sink.full() {
@@ -303,12 +312,12 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 		}
 		if needSplit {
 			if err := finishBuilder(); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
 	if err := finishBuilder(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	ctx.Drain()
 	return out, nil

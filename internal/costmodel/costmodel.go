@@ -171,6 +171,21 @@ func (p Params) SelectPreserved(parts []PartitionState) (preserved map[int]bool)
 	return preserved
 }
 
+// Victims returns the complement P−Φ of a SelectPreserved choice as
+// ascending partition IDs — the order in which the engine acquires the
+// victims' maintenance locks (and compacts them when running sequentially),
+// so every caller agrees on one canonical victim sequence.
+func Victims(parts []PartitionState, preserved map[int]bool) []int {
+	var ids []int
+	for _, s := range parts {
+		if !preserved[s.ID] {
+			ids = append(ids, s.ID)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // PreservedTotalReads reports Σ n_i^r over a chosen subset — the objective
 // value of Eq. 3, used by tests to bound the greedy solution against brute
 // force.

@@ -185,3 +185,26 @@ func TestDefaultParamsScale(t *testing.T) {
 		t.Fatalf("default thresholds implausible: %+v", p)
 	}
 }
+
+func TestVictimsComplementAscending(t *testing.T) {
+	parts := []PartitionState{
+		{ID: 3, Size: 10, Reads: 1},
+		{ID: 0, Size: 10, Reads: 100},
+		{ID: 2, Size: 0},
+		{ID: 1, Size: 10, Reads: 1},
+	}
+	p := Params{TauT: 10}
+	preserved := p.SelectPreserved(parts)
+	got := Victims(parts, preserved)
+	// Budget fits only the hottest sized partition (0); 2 is zero-size and
+	// trivially preserved. Victims come back in ascending ID order.
+	want := []int{1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Victims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Victims = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,8 +1,7 @@
 package engine
 
 import (
-	"time"
-
+	"pmblade/internal/clock"
 	"pmblade/internal/compaction"
 	"pmblade/internal/costmodel"
 	"pmblade/internal/device"
@@ -44,8 +43,9 @@ func (db *DB) localCompactionStrategy(p *partition) error {
 
 // globalCompactionCheck applies the cross-partition half of Algorithm 1:
 // the cost-based eviction trigger (τ_m) or the conventional global-wipe
-// threshold. Callers must hold NO maintenance locks — the helpers below
-// acquire majorMu and then each victim's maint in partition order.
+// threshold. Callers must hold NO maintenance locks. Both triggers funnel
+// into evictOnce, so concurrent checks join one eviction pass instead of
+// queueing up behind majorMu.
 func (db *DB) globalCompactionCheck() error {
 	if db.cfg.RocksDB || !db.cfg.Level0OnPM {
 		return nil
@@ -59,57 +59,122 @@ func (db *DB) globalCompactionCheck() error {
 	// Threshold strategy (PMBlade-PM): "when the number of PM tables reaches
 	// the threshold, the whole level-0 will be compacted to level-1" — a
 	// global wipe, which is exactly why the conventional strategy fails to
-	// retain warm data in PM (Figure 8(b)).
-	db.majorMu.Lock()
-	defer db.majorMu.Unlock()
+	// retain warm data in PM (Figure 8(b)). The count here is a cheap
+	// pre-check; wipeLevel0 re-decides under majorMu.
 	total := 0
 	for _, q := range db.partitions {
 		if q.l0 != nil {
 			total += q.l0.UnsortedCount() + q.l0.SortedCount()
 		}
 	}
-	if total >= db.cfg.L0TriggerTables {
-		for _, q := range db.partitions {
-			if q.l0 == nil {
-				continue
-			}
-			q.maint.Lock()
-			err := db.majorCompactPartition(q)
-			q.maint.Unlock()
-			if err != nil {
-				return err
-			}
-		}
-		return db.gcAfterMajorLocked()
+	if total < db.cfg.L0TriggerTables {
+		return nil
 	}
-	return nil
+	return db.evictOnce(db.wipeLevel0)
 }
 
-// gcAfterMajorLocked installs a manifest and frees the tables the preceding
-// major compactions retired, so eviction actually returns PM (and SSD) space
-// rather than leaving it queued until the next checkpoint. Callers hold
-// majorMu and no maint locks. Without a WAL retirement was immediate and
-// there is no manifest, so this is a no-op.
+// evictOnce is the cross-partition eviction singleflight: at most one
+// eviction pass (cost-based Eq. 3 or threshold wipe) runs at a time, and
+// concurrent triggers share a pass instead of queueing redundant ones
+// behind majorMu. decide runs the pass; evictOnce then installs the
+// deferred-retirement manifest exactly once — even when some victims
+// failed, so the surviving victims' installed runs become durable — and
+// charges the eviction wall-time metrics. Callers hold no locks.
 //
-//pmblade:holds majorMu
-func (db *DB) gcAfterMajorLocked() error {
+// A caller is guaranteed the result of a pass whose victim decision was
+// made AFTER the caller arrived. Joining a pass that was already in flight
+// is not enough — its decision may predate the state the caller needs
+// relieved (a writer that hit pmem.ErrOutOfSpace needs an eviction that saw
+// the exhausted PM, or its one flush retry fails and poisons bgErr) — so a
+// stale joiner waits the pass out and then runs or joins a second one. Any
+// pass in flight by then started after the first finished, hence after the
+// caller arrived, so one follow-up suffices.
+func (db *DB) evictOnce(decide func() error) error {
+	st, started := db.joinOrStartEviction()
+	if !started {
+		<-st.done
+		if st.err != nil {
+			return st.err
+		}
+		if st, started = db.joinOrStartEviction(); !started {
+			<-st.done
+			return st.err
+		}
+	}
+	sw := clock.NewStopwatch()
+	err := decide()
+	if merr := db.installAfterMajor(); err == nil {
+		err = merr
+	}
+	db.metrics.EvictionCount.Add(1)
+	db.metrics.EvictionWallNanos.Add(int64(sw.Elapsed()))
+	db.finishEviction(st, err)
+	return err
+}
+
+// joinOrStartEviction returns the in-flight eviction pass (started=false) or
+// registers a new one owned by the caller (started=true).
+func (db *DB) joinOrStartEviction() (st *evictState, started bool) {
+	db.evictMu.Lock()
+	defer db.evictMu.Unlock()
+	if db.evictInflight != nil {
+		return db.evictInflight, false
+	}
+	st = &evictState{done: make(chan struct{})}
+	db.evictInflight = st
+	return st, true
+}
+
+// finishEviction publishes the pass result and releases the waiters. The
+// error is written before done closes, so joiners always read a settled st.
+func (db *DB) finishEviction(st *evictState, err error) {
+	db.evictMu.Lock()
+	db.evictInflight = nil
+	db.evictMu.Unlock()
+	st.err = err
+	close(st.done)
+}
+
+// wipeLevel0 is the conventional global wipe: if the table count is still
+// over the threshold, every partition with a PM level-0 is a victim.
+func (db *DB) wipeLevel0() error {
+	db.majorMu.Lock()
+	total := 0
+	for _, q := range db.partitions {
+		if q.l0 != nil {
+			total += q.l0.UnsortedCount() + q.l0.SortedCount()
+		}
+	}
+	var victims []*partition
+	if total >= db.cfg.L0TriggerTables {
+		for _, q := range db.partitions {
+			if q.l0 != nil {
+				victims = append(victims, q)
+			}
+		}
+	}
+	db.majorMu.Unlock()
+	return db.compactVictims(victims)
+}
+
+// installAfterMajor installs a manifest and frees the tables the preceding
+// major compactions retired, so eviction actually returns PM (and SSD) space
+// rather than leaving it queued until the next checkpoint. Callers hold no
+// locks — lockAll takes majorMu and every maint itself. Without a WAL
+// retirement was immediate and there is no manifest, so this is a no-op.
+func (db *DB) installAfterMajor() error {
 	if db.cfg.DisableWAL {
 		return nil
 	}
-	for _, p := range db.partitions {
-		p.maint.Lock()
-	}
+	db.lockAll()
+	defer db.unlockAll()
 	_, err := db.saveManifestLocked(0)
-	for i := len(db.partitions) - 1; i >= 0; i-- {
-		db.partitions[i].maint.Unlock()
-	}
 	return err
 }
 
 // partitionCostState assembles the Table II observations for the cost model.
 func (db *DB) partitionCostState(p *partition) costmodel.PartitionState {
-	since := time.Unix(0, p.statsSince.Load())
-	elapsed := time.Since(since).Seconds()
+	elapsed := clock.SecondsSince(p.statsSince.Load())
 	if elapsed < 1e-3 {
 		elapsed = 1e-3
 	}
@@ -133,7 +198,7 @@ func resetPartitionStats(p *partition) {
 	p.reads.Store(0)
 	p.writes.Store(0)
 	p.updates.Store(0)
-	p.statsSince.Store(time.Now().UnixNano())
+	p.statsSince.Store(clock.NowNanos())
 	p.resetSeen()
 }
 
@@ -141,6 +206,8 @@ func resetPartitionStats(p *partition) {
 // whenever the partition has data on SSD. If PM lacks the transient space
 // the compaction needs, the partition is major-compacted instead (which
 // frees PM rather than consuming it). Callers hold p.maint.
+//
+//pmblade:compacts
 func (db *DB) internalCompact(p *partition) error {
 	keepTombstones := p.run.Len() > 0
 	_, err := p.l0.CompactInternal(keepTombstones)
@@ -157,13 +224,20 @@ func (db *DB) internalCompact(p *partition) error {
 
 // majorCompactEvict performs the cost-based major compaction: Eq. 3 selects
 // the partition set Φ to preserve; every other partition's level-0 is
-// compacted to SSD and evicted from PM. It is the one decision that spans
-// partitions, so it holds the coarse majorMu for the knapsack and then each
-// victim's maint lock (in partition order) while compacting it — partitions
-// in Φ keep flushing unimpeded. Callers must hold no maint lock.
+// compacted to SSD and evicted from PM. Concurrent callers join the
+// in-flight pass (see evictOnce). Callers must hold no maint lock.
 func (db *DB) majorCompactEvict() error {
+	return db.evictOnce(db.evictByCost)
+}
+
+// evictByCost is the decision half of the cost-based pass. The Eq. 3
+// knapsack is the one computation that spans partitions, and it is the ONLY
+// thing that happens under majorMu: observe every partition, solve
+// SelectPreserved, snapshot the victim set, release the lock. The victims
+// are then compacted with no global lock held, so partitions in Φ keep
+// flushing and serving reads throughout.
+func (db *DB) evictByCost() error {
 	db.majorMu.Lock()
-	defer db.majorMu.Unlock()
 	states := make([]costmodel.PartitionState, 0, len(db.partitions))
 	for _, p := range db.partitions {
 		if p.l0 != nil {
@@ -171,18 +245,63 @@ func (db *DB) majorCompactEvict() error {
 		}
 	}
 	preserved := db.cfg.Cost.SelectPreserved(states)
-	for _, p := range db.partitions {
-		if p.l0 == nil || preserved[p.id] {
-			continue
-		}
+	var victims []*partition
+	for _, id := range costmodel.Victims(states, preserved) {
+		victims = append(victims, db.partitions[id])
+	}
+	db.majorMu.Unlock()
+	return db.compactVictims(victims)
+}
+
+// compactVictims compacts the snapshot victim set to SSD, each victim under
+// its own maint lock. Fan-out across victims is bounded by the scheduler
+// pool (and each victim's own compaction is staged as CauseMajor subtasks,
+// so the q_flush admission policy still smooths the I/O); under SyncFlush
+// victims run sequentially in ascending partition order instead, because
+// crash-point enumeration replays a workload and needs the identical
+// device-op sequence on every pass. The pass is failure-isolated: one
+// victim's error does not abort the rest, each victim's result is installed
+// per-partition inside majorCompactPartition, and the first error is
+// returned only after every victim has run. Callers hold no locks.
+func (db *DB) compactVictims(victims []*partition) error {
+	if len(victims) == 0 {
+		return nil
+	}
+	errs := make([]error, len(victims))
+	db.fanPartitions(len(victims), func(i int) {
+		p := victims[i]
+		sw := clock.NewStopwatch()
 		p.maint.Lock()
-		err := db.majorCompactPartition(p)
+		db.metrics.EvictVictimsInFlight.Add(1)
+		errs[i] = db.majorCompactPartition(p)
+		db.metrics.EvictVictimsInFlight.Add(-1)
 		p.maint.Unlock()
+		db.metrics.VictimStallNanos.Add(int64(sw.Elapsed()))
+	})
+	return firstError(errs)
+}
+
+// fanPartitions runs task(0..n-1) through the pool's bounded fan-out, or
+// sequentially in index order under SyncFlush (deterministic device-op
+// order for crash-point enumeration).
+func (db *DB) fanPartitions(n int, task func(i int)) {
+	if db.cfg.SyncFlush {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	db.pool.Fan(n, task)
+}
+
+// firstError returns the first non-nil error of a fan-out.
+func firstError(errs []error) error {
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return db.gcAfterMajorLocked()
+	return nil
 }
 
 // majorCompactPartition compacts p's entire PM level-0 together with the
@@ -285,7 +404,13 @@ func (db *DB) majorCompactSSDPartition(p *partition) error {
 	}
 	p.run.Replace(oldRun, newTables)
 	p.clearL0SSD(l0)
-	for _, t := range append(l0, oldRun...) {
+	// Retire via a fresh slice: append(l0, oldRun...) could scribble over the
+	// spare capacity of the snapshot's backing array while another reader
+	// holds the same snapshot.
+	retired := make([]*sstable.Table, 0, len(l0)+len(oldRun))
+	retired = append(retired, l0...)
+	retired = append(retired, oldRun...)
+	for _, t := range retired {
 		db.retireSST(t)
 	}
 	db.metrics.MajorCount.Add(1)
@@ -293,9 +418,23 @@ func (db *DB) majorCompactSSDPartition(p *partition) error {
 	return nil
 }
 
+// discardTables deletes freshly built, never-installed compaction outputs
+// after a sibling subtask failed: no manifest references them and no cache
+// holds their blocks (AttachCache happens only on success), so the files can
+// be removed immediately even when deferred retirement is in effect.
+func discardTables(results [][]*sstable.Table) {
+	for i := range results {
+		for _, t := range results[i] {
+			t.Delete()
+		}
+	}
+}
+
 // runMajor executes a major compaction through the scheduler pool, split
 // into range subtasks across workers (Section V-C). makeSources must return
 // fresh iterators positioned at lo.
+//
+//pmblade:compacts
 func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byte) ([]*sstable.Table, error) {
 	nTasks := db.cfg.Workers * db.pool.K()
 	splits := compaction.SplitRange(bounds, nTasks)
@@ -327,11 +466,14 @@ func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byt
 		})
 	}
 	db.pool.Run(tasks)
+	if err := firstError(errs); err != nil {
+		// One failed range subtask must not strand its siblings' finished
+		// tables on SSD forever.
+		discardTables(results)
+		return nil, err
+	}
 	var out []*sstable.Table
 	for i := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		for _, t := range results[i] {
 			t.AttachCache(db.cache)
 		}
@@ -355,6 +497,8 @@ func (db *DB) runLeveledCompactions(p *partition) error {
 }
 
 // compactLeveledOnce merges one level into the next.
+//
+//pmblade:compacts
 func (db *DB) compactLeveledOnce(p *partition, level int) error {
 	var inputs []*sstable.Table
 	var lo, hi []byte
@@ -440,11 +584,13 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 		})
 	}
 	db.pool.Run(tasks)
+	if err := firstError(errs); err != nil {
+		// Same leak as runMajor: drop the successful siblings' outputs.
+		discardTables(results)
+		return err
+	}
 	var outTables []*sstable.Table
 	for i := range results {
-		if errs[i] != nil {
-			return errs[i]
-		}
 		for _, t := range results[i] {
 			t.AttachCache(db.cache)
 		}
@@ -484,34 +630,30 @@ func (db *DB) InternalCompactAll() error {
 			return err
 		}
 	}
-	if db.cfg.DisableWAL {
-		return nil
-	}
-	db.lockAll()
-	_, err := db.saveManifestLocked(0)
-	db.unlockAll()
-	return err
+	return db.installAfterMajor()
 }
 
-// MajorCompactAll forces a major compaction of every partition's level-0.
+// MajorCompactAll forces a major compaction of every partition (tests and
+// experiments trigger compaction manually). No cross-partition decision is
+// involved, so majorMu is never held: each partition compacts under its own
+// maint lock, fanned out through the pool like an eviction pass.
 func (db *DB) MajorCompactAll() error {
-	db.majorMu.Lock()
-	defer db.majorMu.Unlock()
-	for _, p := range db.partitions {
+	errs := make([]error, len(db.partitions))
+	db.fanPartitions(len(db.partitions), func(i int) {
+		p := db.partitions[i]
 		p.maint.Lock()
-		var err error
+		defer p.maint.Unlock()
 		switch {
 		case p.l0 != nil:
-			err = db.majorCompactPartition(p)
+			errs[i] = db.majorCompactPartition(p)
 		case p.leveled != nil:
-			err = db.runLeveledCompactions(p)
+			errs[i] = db.runLeveledCompactions(p)
 		default:
-			err = db.majorCompactSSDPartition(p)
+			errs[i] = db.majorCompactSSDPartition(p)
 		}
-		p.maint.Unlock()
-		if err != nil {
-			return err
-		}
+	})
+	if err := firstError(errs); err != nil {
+		return err
 	}
-	return db.gcAfterMajorLocked()
+	return db.installAfterMajor()
 }

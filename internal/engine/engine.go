@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"pmblade/internal/clock"
 	"pmblade/internal/fault"
@@ -59,14 +58,26 @@ type DB struct {
 
 	partitions []*partition
 
-	// majorMu serializes cross-partition major compaction: the knapsack of
-	// Eq. 3 (SelectPreserved) reasons about all partitions at once, so only
-	// one such decision may be in flight. Per-partition maintenance
-	// (flush, internal compaction) uses partition.maint instead. Lock order:
-	// majorMu before any partition.maint; never acquire majorMu while
-	// holding a maint lock.
+	// majorMu serializes the cross-partition compaction DECISION only: the
+	// Eq. 3 knapsack (SelectPreserved) and the global-wipe count reason
+	// about all partitions at once, so one such decision is in flight at a
+	// time, and manifest snapshots (lockAll) quiesce it. It is never held
+	// across compaction I/O — the decision snapshots its victim set and
+	// releases majorMu before any victim is compacted (each under its own
+	// partition.maint), so preserved partitions flush and serve reads while
+	// victims move to SSD. Lock order: majorMu before any partition.maint;
+	// never acquire majorMu while holding a maint lock. The lockorder
+	// analyzer enforces both directions plus the no-compaction-under-majorMu
+	// contract (//pmblade:compacts).
 	majorMu sync.Mutex
-	closed  atomic.Bool
+
+	// evictMu guards the eviction singleflight: at most one eviction pass
+	// (cost-based or threshold wipe) runs at a time; concurrent triggers
+	// join the in-flight pass and share its result. See evictOnce.
+	evictMu       sync.Mutex
+	evictInflight *evictState // guarded by: evictMu
+
+	closed atomic.Bool
 
 	// bgErr records the first background-flush failure; once set, writes
 	// return it (the pipeline is considered wedged).
@@ -93,6 +104,14 @@ type DB struct {
 	obsoleteMu  sync.Mutex
 	obsoletePM  []*pmtable.Table // guarded by: obsoleteMu
 	obsoleteSSD []*sstable.Table // guarded by: obsoleteMu
+}
+
+// evictState is one in-flight eviction pass. The owner writes err and then
+// closes done; joiners block on done and read err afterwards, so the field
+// needs no lock of its own.
+type evictState struct {
+	done chan struct{}
+	err  error
 }
 
 // partition is one range partition's LSM column.
@@ -211,7 +230,7 @@ func Open(cfg Config) (*DB, error) {
 				})
 			}
 		}
-		p.statsSince.Store(time.Now().UnixNano())
+		p.statsSince.Store(clock.NowNanos())
 		db.partitions = append(db.partitions, p)
 	}
 	// Install the initial manifest before any write can be acknowledged, so

@@ -55,6 +55,23 @@ type Metrics struct {
 	// amplification, Figure 7a).
 	L0TablesProbed atomic.Int64
 
+	// EvictionCount / EvictionWallNanos describe cross-partition eviction
+	// passes (the Eq. 3 cost-based pass or the threshold global wipe):
+	// passes completed and their total wall time from the knapsack decision
+	// through the final manifest install. Joined triggers (evictOnce) do not
+	// count as extra passes.
+	EvictionCount     atomic.Int64
+	EvictionWallNanos atomic.Int64
+	// VictimStallNanos accrues, per victim partition, the time from the
+	// eviction snapshot to that victim's installed result (maint-lock wait
+	// plus compaction I/O) — the per-partition write-stall exposure of an
+	// eviction pass. Preserved partitions contribute nothing.
+	VictimStallNanos atomic.Int64
+	// EvictVictimsInFlight is a gauge of victim partitions currently being
+	// compacted by an eviction pass; MajorCompactAll's fan-out is not
+	// counted.
+	EvictVictimsInFlight atomic.Int64
+
 	// WALCommitCount / WALCommitBatches / WALCommitEntries describe group
 	// commit: WALCommitBatches/WALCommitCount is the mean writers coalesced
 	// per WAL sync, WALCommitEntries the total entries logged.

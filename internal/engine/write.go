@@ -224,10 +224,10 @@ func (db *DB) maintainPartition(p *partition) {
 }
 
 // flushAndMaintain flushes p's immutables and runs the local strategy under
-// p.maint. When PM runs out of space it releases the lock, evicts per Eq. 3
-// (which takes majorMu and other partitions' maint locks — never while this
-// partition's is held), and retries once; the eviction time is charged to
-// the write-stall metric.
+// p.maint. When PM runs out of space it releases the lock and evicts per
+// Eq. 3 — majorMu covers only the victim decision there, and a pass already
+// in flight is joined rather than queued behind (evictOnce) — then retries
+// once; the eviction wait is charged to the write-stall metric.
 func (db *DB) flushAndMaintain(p *partition) error {
 	for attempt := 0; ; attempt++ {
 		p.maint.Lock()
@@ -296,6 +296,8 @@ func (db *DB) flushImmutables(p *partition) error {
 // dropped at flush (as RocksDB does absent snapshots): only the newest
 // version of each key leaves DRAM. pmem.ErrOutOfSpace propagates to the
 // caller, which evicts and retries.
+//
+//pmblade:compacts
 func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
 	if m.Empty() {
 		return nil

@@ -256,9 +256,13 @@ func (p *Pool) CloseBackground() {
 }
 
 // Fan runs fn(0..n-1) to completion under the pool's execution model — the
-// bounded fan-out used by parallel client scans and MultiGet: concurrency is
-// capped by the pool's worker/coroutine budget, so a wide read cannot spawn
-// unbounded goroutines or starve compaction of CPU slots.
+// bounded fan-out used by parallel client scans, MultiGet, and the
+// concurrent-victim eviction pipeline: concurrency is capped by the pool's
+// worker/coroutine budget, so a wide fan-out cannot spawn unbounded
+// goroutines or starve compaction of CPU slots. Fan tasks may themselves
+// call Run (each Run call sets up its own slots and goroutines), which is
+// how an evicted victim's staged compaction subtasks nest inside the
+// per-victim fan-out.
 func (p *Pool) Fan(n int, fn func(i int)) {
 	if n <= 0 {
 		return

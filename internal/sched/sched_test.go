@@ -272,3 +272,36 @@ func TestAdmissionDefersWritesUnderClientLoad(t *testing.T) {
 		t.Fatalf("write admitted in %v despite saturated device", d)
 	}
 }
+
+// TestFanTasksMayNestRun is the eviction pipeline's shape: each Fan task
+// (one per victim partition) launches its own staged Run for the victim's
+// range subtasks. Every nested task must complete and writes must drain, in
+// every mode.
+func TestFanTasksMayNestRun(t *testing.T) {
+	for _, mode := range []Mode{ModeThread, ModeCoroutine, ModePMBlade} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			dev := ssd.New(ssd.Profile{})
+			p := NewPool(mode, 2, 4, dev)
+			const victims, subtasks = 3, 4
+			var compute, writes atomic.Int64
+			p.Fan(victims, func(int) {
+				tasks := make([]Task, subtasks)
+				for i := range tasks {
+					tasks[i] = func(ctx *Ctx) {
+						ctx.Compute(func() { compute.Add(1) })
+						ctx.Write(func() { writes.Add(1) })
+						ctx.Drain()
+					}
+				}
+				p.Run(tasks)
+			})
+			if got := compute.Load(); got != victims*subtasks {
+				t.Fatalf("compute sections run = %d, want %d", got, victims*subtasks)
+			}
+			if got := writes.Load(); got != victims*subtasks {
+				t.Fatalf("write sections run = %d, want %d", got, victims*subtasks)
+			}
+		})
+	}
+}
