@@ -1,21 +1,32 @@
-// pmblade-vet runs the engine's invariant analyzers (lockorder, guardedby,
-// nodrop, nondeterminism, crcbeforeuse) over the module. It works two ways:
+// pmblade-vet runs the engine's invariant analyzers (aliasescape,
+// crcbeforeuse, faultcover, guardedby, lockorder, nodrop, nondeterminism,
+// persistorder) over the module. It works two ways:
 //
 // Standalone, from anywhere inside the module:
 //
 //	pmblade-vet ./...                 # whole module (the default)
 //	pmblade-vet ./internal/engine     # specific package directories
+//	pmblade-vet -baseline vet-baseline.json -json findings.json ./...
 //
 // As a go vet tool, which runs it with go's own build graph and caching:
 //
 //	go vet -vettool=$(which pmblade-vet) ./...
 //
-// Exit status is non-zero when any unsuppressed diagnostic is reported.
-// Suppressions (//pmblade:allow <analyzer> <reason>) and the policy for them
-// are documented in DESIGN.md §5.3.
+// Standalone mode loads the whole module from source, so the
+// interprocedural analyzers (persistorder, faultcover, aliasescape,
+// lockorder) see summaries across package boundaries; this is the mode CI
+// and `make pmblade-vet` enforce. Under the go vet protocol each package is
+// checked against export data only, so cross-package summaries degrade to
+// the intrinsic device models — sound but less complete.
+//
+// Exit status is non-zero when any unsuppressed, unbaselined diagnostic is
+// reported. Suppressions (//pmblade:allow <analyzer> <reason>) and the
+// policy for them are documented in DESIGN.md §5.3; the baseline file and
+// its policy in DESIGN.md §5.7.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,13 +36,13 @@ import (
 	"pmblade/internal/analysis/suite"
 )
 
-const version = "v0.1.0"
+const version = "v0.2.0"
 
 func main() {
 	args := os.Args[1:]
 	// The go command probes vet tools before use: -V=full must print
 	// "<name> version <ver>" for the build cache, and -flags must dump the
-	// tool's flag set as JSON (we have none).
+	// tool's flag set as JSON (none that go vet should forward).
 	for _, a := range args {
 		switch a {
 		case "-V=full", "-V":
@@ -52,8 +63,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: pmblade-vet [package-dirs | ./...]")
+	fmt.Println("usage: pmblade-vet [flags] [package-dirs | ./...]")
 	fmt.Println("       go vet -vettool=$(which pmblade-vet) ./...")
+	fmt.Println()
+	fmt.Println("flags (standalone mode only):")
+	fmt.Println("  -json FILE            write all findings (including baselined) as JSON")
+	fmt.Println("  -baseline FILE        tolerate findings recorded in FILE")
+	fmt.Println("  -write-baseline FILE  write current findings to FILE, keeping existing justifications")
 	fmt.Println()
 	fmt.Println("analyzers:")
 	for _, a := range suite.Analyzers() {
@@ -61,7 +77,8 @@ func usage() {
 	}
 	fmt.Println()
 	fmt.Println("suppress a finding with `//pmblade:allow <analyzer> <reason>` on or")
-	fmt.Println("above the flagged line (policy: DESIGN.md §5.3).")
+	fmt.Println("above the flagged line (policy: DESIGN.md §5.3); tolerate a reviewed")
+	fmt.Println("finding with a justified entry in vet-baseline.json (DESIGN.md §5.7).")
 }
 
 // moduleRoot walks up from dir to the directory containing go.mod.
@@ -86,6 +103,15 @@ func moduleRoot(dir string) (root, modPath string, err error) {
 }
 
 func standaloneMain(args []string) int {
+	fs := flag.NewFlagSet("pmblade-vet", flag.ContinueOnError)
+	jsonOut := fs.String("json", "", "write all findings (including baselined) as JSON to `file`")
+	baselinePath := fs.String("baseline", "", "tolerate findings recorded in the baseline `file`")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to the baseline `file`, preserving justifications")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	args = fs.Args()
+
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -128,7 +154,23 @@ func standaloneMain(args []string) int {
 		}
 	}
 
+	var baseline *analysis.Baseline
+	if *baselinePath != "" || *writeBaseline != "" {
+		bp := *baselinePath
+		if bp == "" {
+			bp = *writeBaseline
+		}
+		baseline, err = analysis.LoadBaseline(bp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+			return 1
+		}
+	} else {
+		baseline = &analysis.Baseline{}
+	}
+
 	exit := 0
+	var findings []analysis.Finding
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -144,10 +186,49 @@ func standaloneMain(args []string) int {
 				continue
 			}
 			for _, d := range diags {
-				fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				pos := pkg.Fset.Position(d.Pos)
+				f := analysis.Finding{
+					Analyzer: d.Analyzer,
+					File:     analysis.RelFile(root, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				}
+				f.Baselined = baseline.Match(f.Analyzer, f.File, f.Message)
+				findings = append(findings, f)
+				if f.Baselined {
+					continue
+				}
+				fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 				exit = 1
 			}
 		}
+	}
+
+	if *jsonOut != "" {
+		if err := analysis.WriteFindingsJSON(*jsonOut, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+			return 1
+		}
+	}
+	if *writeBaseline != "" {
+		merged := analysis.MergeBaseline(baseline, findings)
+		if err := analysis.WriteBaseline(*writeBaseline, merged); err != nil {
+			fmt.Fprintln(os.Stderr, "pmblade-vet:", err)
+			return 1
+		}
+		todo := 0
+		for _, e := range merged.Entries {
+			if e.Justification == "TODO: justify or fix" {
+				todo++
+			}
+		}
+		fmt.Printf("pmblade-vet: wrote %d baseline entries to %s", len(merged.Entries), *writeBaseline)
+		if todo > 0 {
+			fmt.Printf(" (%d need a justification before check-in)", todo)
+		}
+		fmt.Println()
+		return 0 // regenerating the baseline is never a failure
 	}
 	return exit
 }

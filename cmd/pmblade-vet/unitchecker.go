@@ -19,6 +19,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"pmblade/internal/analysis"
@@ -124,11 +125,27 @@ func unitcheckerMain(cfgFile string) int {
 	if len(diags) == 0 {
 		return 0
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	// Both drivers honor the same checked-in baseline: walk up from the
+	// package directory to the module root and drop tolerated findings.
+	baseline := &analysis.Baseline{}
+	var modRoot string
+	if root, _, err := moduleRoot(cfg.Dir); err == nil {
+		modRoot = root
+		if b, err := analysis.LoadBaseline(filepath.Join(root, "vet-baseline.json")); err == nil {
+			baseline = b
+		}
 	}
-	return 2
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	exit := 0
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if modRoot != "" && baseline.Match(d.Analyzer, analysis.RelFile(modRoot, pos.Filename), d.Message) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		exit = 2
+	}
+	return exit
 }
 
 // importerFunc adapts a function to types.Importer.

@@ -1,0 +1,60 @@
+// Package aliasescape enforces PR 4's one-copy-at-the-boundary contract
+// (DESIGN.md §5.7): byte slices obtained from pmem.View or the sstable
+// block cache are zero-copy windows into memory the engine treats as
+// immutable and may recycle. Two rules follow:
+//
+//  1. Never write through such a view — anywhere. An index/slice store or a
+//     copy() whose destination derives from a view corrupts checksummed
+//     device or cache memory in place.
+//  2. Never let a view cross the public pmblade API uncopied. Internal
+//     layers may pass aliases freely (that is the point of the copy-free
+//     read path), but an exported function of the pmblade package must
+//     return freshly owned bytes: append([]byte(nil), v...).
+//
+// Taint tracking is interprocedural through the shared summaries: a helper
+// whose result may alias a view (ReturnsAlias) taints its callers' locals,
+// so an exported wrapper around an aliasing helper is still caught. The
+// sanctioned copy idioms — append to a fresh empty slice, string(v) — clear
+// the taint.
+package aliasescape
+
+import (
+	"go/token"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the aliasescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliasescape",
+	Doc: "forbid writing through pmem/block-cache views and require copying " +
+		"them before they cross the public pmblade API",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := pass.Program()
+	pkg := pass.Package()
+	// The module root package is the public surface; everything under
+	// internal/ may alias freely as long as it never writes.
+	boundary := pass.Pkg.Name() == "pmblade"
+	for _, fd := range analysis.FuncDecls(pkg) {
+		if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		exported := fd.Name.IsExported()
+		prog.ReplayAlias(pkg, fd, func(pos token.Pos, kind analysis.AliasKind) {
+			switch kind {
+			case analysis.AliasWrite:
+				pass.Reportf(pos,
+					"write through a zero-copy view of device/cache memory; views are immutable — copy the bytes before mutating")
+			case analysis.AliasReturn:
+				if boundary && exported {
+					pass.Reportf(pos,
+						"zero-copy view of device/cache memory escapes the public API uncopied; copy at the boundary (append([]byte(nil), v...))")
+				}
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package aliasescape_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/aliasescape"
+	"pmblade/internal/analysis/analysistest"
+)
+
+func TestAliasEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", aliasescape.Analyzer, "app", "pmblade", "internal/sstable")
+}

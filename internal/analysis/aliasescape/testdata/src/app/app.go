@@ -1,0 +1,52 @@
+// Package app exercises view-taint propagation and the write-through rule
+// in an internal (non-boundary) package.
+package app
+
+import "internal/pmem"
+
+func writeThrough(d *pmem.Device, a pmem.Addr) {
+	v, _ := d.View(a, 0, 8)
+	v[0] = 1 // want `write through a zero-copy view`
+}
+
+func writeThroughSubslice(d *pmem.Device, a pmem.Addr) {
+	v, _ := d.View(a, 0, 8)
+	w := v[2:4]
+	w[0] = 1 // want `write through a zero-copy view`
+}
+
+func copyIntoView(d *pmem.Device, a pmem.Addr, src []byte) {
+	v, _ := d.View(a, 0, 8)
+	copy(v, src) // want `write through a zero-copy view`
+}
+
+func copyOutThenWrite(d *pmem.Device, a pmem.Addr) []byte {
+	v, _ := d.View(a, 0, 8)
+	out := append([]byte(nil), v...)
+	out[0] = 1 // fresh backing array: clean
+	return out
+}
+
+func stringCopy(d *pmem.Device, a pmem.Addr) string {
+	v, _ := d.View(a, 0, 8)
+	return string(v) // conversion copies: clean
+}
+
+func readByte(d *pmem.Device, a pmem.Addr) byte {
+	v, _ := d.View(a, 0, 8)
+	b := v[0]
+	return b // a byte is a value, not an alias
+}
+
+func reassigned(d *pmem.Device, a pmem.Addr) {
+	v, _ := d.View(a, 0, 8)
+	v = make([]byte, 8)
+	v[0] = 1 // rebound to owned memory: clean
+}
+
+func suppressed(d *pmem.Device, a pmem.Addr) {
+	v, _ := d.View(a, 0, 8)
+	// Scratch region private to this test helper:
+	//pmblade:allow aliasescape fixture demonstrating suppression
+	v[0] = 1
+}

@@ -1,0 +1,12 @@
+// Package pmem is a fixture stand-in: Device.View carries the intrinsic
+// returns-alias summary.
+package pmem
+
+// Addr is a region handle.
+type Addr uint64
+
+// Device mimics the persistent-memory device surface.
+type Device struct{}
+
+func (d *Device) View(a Addr, off, n int) ([]byte, error) { return nil, nil }
+func (d *Device) Flush() error                            { return nil }

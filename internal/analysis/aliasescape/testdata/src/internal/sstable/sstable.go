@@ -1,0 +1,37 @@
+// Package sstable is both fixture dependency and analyzed package: the
+// block cache's get is the second intrinsic alias source, and its in-package
+// consumers must not write through cached blocks.
+package sstable
+
+// BlockCache is a shared immutable block store.
+type BlockCache struct {
+	m map[uint64][]byte
+}
+
+// get returns the cached block; callers receive a zero-copy view.
+func (c *BlockCache) get(k uint64) ([]byte, bool) {
+	b, ok := c.m[k]
+	return b, ok
+}
+
+// Table reads blocks through the cache.
+type Table struct {
+	cache *BlockCache
+}
+
+func (t *Table) patchBlock(k uint64) []byte {
+	b, ok := t.cache.get(k)
+	if !ok {
+		return nil
+	}
+	b[0] = 1 // want `write through a zero-copy view`
+	return b // internal packages may alias; only writes are errors here
+}
+
+func (t *Table) readEntry(k uint64) []byte {
+	b, ok := t.cache.get(k)
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), b...) // copy-out: clean
+}

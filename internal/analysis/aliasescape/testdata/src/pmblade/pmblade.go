@@ -1,0 +1,39 @@
+// Package pmblade is the public-API boundary fixture: exported functions
+// here must not return view-aliasing bytes.
+package pmblade
+
+import "internal/pmem"
+
+// DB is the public handle.
+type DB struct {
+	dev *pmem.Device
+}
+
+// Get leaks a view across the boundary.
+func (db *DB) Get(a pmem.Addr) ([]byte, error) {
+	v, err := db.dev.View(a, 0, 16)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil // want `escapes the public API uncopied`
+}
+
+// GetCopy copies at the boundary: clean.
+func (db *DB) GetCopy(a pmem.Addr) ([]byte, error) {
+	v, err := db.dev.View(a, 0, 16)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// peek is unexported: internal alias flow is the design.
+func (db *DB) peek(a pmem.Addr) []byte {
+	v, _ := db.dev.View(a, 0, 16)
+	return v
+}
+
+// Peek leaks the helper's alias through an exported wrapper.
+func (db *DB) Peek(a pmem.Addr) []byte {
+	return db.peek(a) // want `escapes the public API uncopied`
+}

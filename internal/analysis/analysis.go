@@ -10,7 +10,7 @@
 //   - Suppressions. A diagnostic is dropped when the flagged line, or the
 //     line immediately above it, carries a comment of the form
 //
-//	//pmblade:allow <analyzer> [reason...]
+//     //pmblade:allow <analyzer> [reason...]
 //
 //     Suppressions are the escape hatch of last resort; DESIGN.md §5.3
 //     documents the policy (every suppression must carry a reason).
@@ -48,8 +48,19 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	pkg   *Package
 	diags []Diagnostic
 }
+
+// Package returns the loaded package under analysis. Driver paths that build
+// a Pass without a loader (the go vet protocol) still get a usable value:
+// RunAnalyzer always threads the *Package through.
+func (p *Pass) Package() *Package { return p.pkg }
+
+// Program returns the interprocedural summary table for this pass's package
+// (shared module-wide under the source loader, single-package under export-
+// data drivers).
+func (p *Pass) Program() *Program { return p.pkg.Program() }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -79,6 +90,21 @@ const HoldsDirective = "pmblade:holds"
 // directly or transitively — while majorMu is held: the global lock covers
 // only the victim decision, never the I/O (DESIGN.md §5.6).
 const CompactsDirective = "pmblade:compacts"
+
+// DeterministicDirective opts a file or package into the nondeterminism
+// analyzer's scope: "//pmblade:deterministic package" anywhere in a package
+// covers every file of the package; "//pmblade:deterministic file" covers
+// only the file carrying the comment. Replaces the analyzer's old
+// hand-maintained path list so new files cannot silently opt out.
+const DeterministicDirective = "pmblade:deterministic"
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The source loader never parses test files, but the go vet driver hands
+// analyzers test files too; interprocedural analyzers skip them so both
+// drivers agree.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
 
 // suppressedLines returns, per file, the set of lines on which diagnostics
 // of the named analyzer are suppressed. A //pmblade:allow comment covers its
@@ -120,6 +146,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		pkg:       pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline records known findings the suite tolerates: pre-existing or
+// precision-limited diagnostics that have been reviewed, justified, and
+// checked in (vet-baseline.json). CI fails only on findings NOT in the
+// baseline, so the suite can grow stricter without blocking on archaeology —
+// while every tolerated finding stays visible, with its justification, in
+// version control.
+//
+// Entries match on (analyzer, repo-relative file, message) — not line
+// numbers, which would go stale on every unrelated edit to the file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one tolerated finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Message  string `json:"message"`
+	// Justification is mandatory documentation: why this finding is
+	// tolerated rather than fixed.
+	Justification string `json:"justification"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// so fresh checkouts and bootstrap runs need no stub file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Match reports whether a finding is tolerated by the baseline.
+func (b *Baseline) Match(analyzer, relFile, message string) bool {
+	for _, e := range b.Entries {
+		if e.Analyzer == analyzer && e.File == relFile && e.Message == message {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one diagnostic in driver/JSON form.
+type Finding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"` // slash-separated, relative to the module root
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// RelFile converts a diagnostic's absolute filename to the slash-separated
+// module-relative form used by baselines and JSON output.
+func RelFile(moduleRoot, filename string) string {
+	if rel, err := filepath.Rel(moduleRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// WriteFindingsJSON writes findings as a JSON array (stable order: file,
+// line, analyzer), for the CI artifact.
+func WriteFindingsJSON(path string, findings []Finding) error {
+	sortFindings(findings)
+	data, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MergeBaseline produces a baseline covering every given finding. Entries
+// carried over from prev keep their justifications; genuinely new findings
+// get a placeholder that a human must replace before the file is checked in
+// (make vet-baseline prints a reminder).
+func MergeBaseline(prev *Baseline, findings []Finding) *Baseline {
+	sortFindings(findings)
+	out := &Baseline{}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		key := f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e := BaselineEntry{
+			Analyzer:      f.Analyzer,
+			File:          f.File,
+			Message:       f.Message,
+			Justification: "TODO: justify or fix",
+		}
+		for _, p := range prev.Entries {
+			if p.Analyzer == f.Analyzer && p.File == f.File && p.Message == f.Message {
+				e.Justification = p.Justification
+				break
+			}
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}
+
+// WriteBaseline writes a baseline file.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

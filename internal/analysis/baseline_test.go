@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Fatalf("missing file produced %d entries", len(b.Entries))
+	}
+	if b.Match("nodrop", "a.go", "msg") {
+		t.Error("empty baseline matched a finding")
+	}
+}
+
+func TestBaselineRoundTripAndMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet-baseline.json")
+	in := &Baseline{Entries: []BaselineEntry{{
+		Analyzer:      "faultcover",
+		File:          "internal/ssd/ssd.go",
+		Message:       "some finding",
+		Justification: "reviewed",
+	}}}
+	if err := WriteBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 1 || out.Entries[0] != in.Entries[0] {
+		t.Fatalf("round trip: got %+v", out.Entries)
+	}
+	if !out.Match("faultcover", "internal/ssd/ssd.go", "some finding") {
+		t.Error("exact triple did not match")
+	}
+	// Any differing field misses: line numbers are deliberately not part of
+	// the key, but analyzer/file/message all are.
+	for _, miss := range [][3]string{
+		{"nodrop", "internal/ssd/ssd.go", "some finding"},
+		{"faultcover", "internal/ssd/other.go", "some finding"},
+		{"faultcover", "internal/ssd/ssd.go", "some other finding"},
+	} {
+		if out.Match(miss[0], miss[1], miss[2]) {
+			t.Errorf("unexpected match for %v", miss)
+		}
+	}
+}
+
+func TestMergeBaselinePreservesJustifications(t *testing.T) {
+	prev := &Baseline{Entries: []BaselineEntry{{
+		Analyzer: "faultcover", File: "a.go", Message: "m1",
+		Justification: "carefully reviewed",
+	}}}
+	findings := []Finding{
+		{Analyzer: "faultcover", File: "a.go", Line: 10, Message: "m1"},
+		{Analyzer: "persistorder", File: "b.go", Line: 3, Message: "m2"},
+		// Duplicate of the first at another line: one entry, not two.
+		{Analyzer: "faultcover", File: "a.go", Line: 99, Message: "m1"},
+	}
+	merged := MergeBaseline(prev, findings)
+	if len(merged.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(merged.Entries), merged.Entries)
+	}
+	byMsg := map[string]BaselineEntry{}
+	for _, e := range merged.Entries {
+		byMsg[e.Message] = e
+	}
+	if got := byMsg["m1"].Justification; got != "carefully reviewed" {
+		t.Errorf("m1 justification = %q, want preserved", got)
+	}
+	if got := byMsg["m2"].Justification; got != "TODO: justify or fix" {
+		t.Errorf("m2 justification = %q, want placeholder", got)
+	}
+}
+
+func TestRelFile(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	if got := RelFile(root, filepath.FromSlash("/mod/internal/a.go")); got != "internal/a.go" {
+		t.Errorf("inside: got %q", got)
+	}
+	if got := RelFile(root, filepath.FromSlash("/elsewhere/b.go")); got != "/elsewhere/b.go" {
+		t.Errorf("outside: got %q", got)
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the call-graph half of the interprocedural framework: resolving
+// call expressions to their static *types.Func targets, collecting a package's
+// function declarations, and condensing the same-package call graph into
+// strongly connected components so summaries (summary.go) can be computed
+// bottom-up with a bounded fixpoint inside each SCC.
+
+// FuncDecls maps every function and method declared in pkg (with a body) to
+// its declaration.
+func FuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// ResolveCallee resolves a call expression to the static function or method it
+// invokes, in any package. Calls through interface values, function-typed
+// variables, and built-ins resolve to nil: the framework treats them as
+// unknown (identity) effects.
+func ResolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// A method selected from an interface value is dynamic dispatch; the
+		// static target is unknown.
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// CallEdges collects, for each declared function, every statically resolvable
+// callee — including calls made inside function literals, since a closure
+// handed to a fan-out or retry helper still runs the caller's effects.
+func CallEdges(pkg *Package, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]*types.Func {
+	edges := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if target := ResolveCallee(pkg.Info, call); target != nil {
+					edges[fn] = append(edges[fn], target)
+				}
+			}
+			return true
+		})
+	}
+	return edges
+}
+
+// SCCs condenses the call graph restricted to fns into strongly connected
+// components, returned in reverse topological order (callees before callers),
+// so a bottom-up summary pass can process each component after everything it
+// calls outside the component. Tarjan's algorithm emits components in exactly
+// that order. The result is deterministic: roots are visited in a stable
+// order.
+func SCCs(fns map[*types.Func]*ast.FuncDecl, edges map[*types.Func][]*types.Func) [][]*types.Func {
+	// Stable iteration order for determinism.
+	order := make([]*types.Func, 0, len(fns))
+	for fn := range fns {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var out [][]*types.Func
+	next := 0
+
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		next++
+		index[v] = next
+		low[v] = next
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range edges[v] {
+			if _, declared := fns[w]; !declared {
+				continue // cross-package or bodiless: summarized separately
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, fn := range order {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package faultcover keeps the crash harness's coverage exhaustive: every
+// exported durability method of the device layer (internal/pmem,
+// internal/ssd — any method on a type carrying a *fault.Injector) must
+// consult the injector before mutating durable state. The PR 3 crash
+// harness enumerates crash points by counting injector hooks; a device
+// mutation with no preceding hook is invisible to that enumeration, so
+// power-cut testing silently skips it as the device surface grows.
+//
+// Mutation tracking is receiver-rooted: assignments, ++/--, delete, and
+// copy whose destination chains back to the receiver (directly or through a
+// local bound from receiver state, as in `f, ok := d.files[id]`) count;
+// lock/stat/atomic method calls do not. Installing the injector itself
+// (a *fault.Injector field assignment) is exempt — it cannot be hooked.
+// Helper calls compose through the shared summaries: a method whose helper
+// hooks first is covered; one whose helper mutates unhooked is flagged at
+// the call.
+package faultcover
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the faultcover pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultcover",
+	Doc: "require device-layer durability methods to consult the fault.Injector " +
+		"before mutating durable state, keeping crash-point enumeration exhaustive",
+	Run: run,
+}
+
+// scoped lists the package-path suffixes holding fault-instrumented devices.
+var scoped = []string{"internal/pmem", "internal/ssd"}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scoped {
+		if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	prog := pass.Program()
+	pkg := pass.Package()
+	for fn, fd := range analysis.FuncDecls(pkg) {
+		if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		if fd.Recv == nil || !fd.Name.IsExported() {
+			continue
+		}
+		recv := receiverNamed(fn)
+		if recv == nil || !carriesInjector(recv) {
+			continue
+		}
+		point := fmt.Sprintf("%s.%s", pass.Pkg.Name(), strings.ToLower(fd.Name.Name))
+		method := fmt.Sprintf("%s.%s", recv.Obj().Name(), fd.Name.Name)
+		prog.FaultFacts(pkg, fd, func(pos token.Pos, desc string) {
+			pass.Reportf(pos,
+				"%s in %s before any fault-injection hook; consult the fault.Injector first (missing fault.Point %q) so crash-point enumeration stays exhaustive",
+				desc, method, point)
+		})
+	}
+	return nil
+}
+
+// receiverNamed returns fn's receiver's named type, or nil.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// carriesInjector reports whether the named struct type has a
+// *fault.Injector field — the marker of a fault-instrumented device.
+func carriesInjector(n *types.Named) bool {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		p, ok := st.Field(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		f, ok := p.Elem().(*types.Named)
+		if !ok || f.Obj().Pkg() == nil {
+			continue
+		}
+		if f.Obj().Name() == "Injector" && analysis.HasSuffixPath(f.Obj().Pkg().Path(), "internal/fault") {
+			return true
+		}
+	}
+	return false
+}

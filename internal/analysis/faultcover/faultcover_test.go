@@ -1,0 +1,12 @@
+package faultcover_test
+
+import (
+	"testing"
+
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/faultcover"
+)
+
+func TestFaultCover(t *testing.T) {
+	analysistest.Run(t, "testdata", faultcover.Analyzer, "internal/pmem")
+}

@@ -1,0 +1,25 @@
+// Package fault is a fixture stand-in for the fault-injection kit: its
+// import path ends in internal/fault, so a *Injector field marks a device
+// as instrumented and Injector.Hook is the intrinsic hook point.
+package fault
+
+// Point names one crash point.
+type Point string
+
+// Op describes one intercepted operation.
+type Op struct {
+	Point Point
+	Len   int
+}
+
+// Decision is the injector's verdict.
+type Decision struct {
+	Err  error
+	Drop bool
+}
+
+// Injector decides the fate of hooked operations.
+type Injector struct{}
+
+// Hook intercepts one operation.
+func (in *Injector) Hook(op Op) Decision { return Decision{} }

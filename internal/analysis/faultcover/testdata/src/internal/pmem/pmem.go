@@ -1,0 +1,85 @@
+// Package pmem is the analyzed fixture: a fault-instrumented device whose
+// exported methods must hook before mutating.
+package pmem
+
+import "internal/fault"
+
+// Device carries an injector, so its exported methods are in scope.
+type Device struct {
+	fault *fault.Injector
+	data  map[int][]byte
+	next  int
+}
+
+// WriteAt hooks before mutating: covered.
+func (d *Device) WriteAt(id int, p []byte) error {
+	if d.fault != nil {
+		if dec := d.fault.Hook(fault.Op{Point: "pmem.writeat", Len: len(p)}); dec.Err != nil {
+			return dec.Err
+		}
+	}
+	d.data[id] = p
+	return nil
+}
+
+// hook is the shared guard helper; its summary carries Hooks=true.
+func (d *Device) hook(p fault.Point) error {
+	if d.fault == nil {
+		return nil
+	}
+	if dec := d.fault.Hook(fault.Op{Point: p}); dec.Err != nil {
+		return dec.Err
+	}
+	return nil
+}
+
+// Alloc hooks through the helper: covered.
+func (d *Device) Alloc(n int) (int, error) {
+	if err := d.hook("pmem.alloc"); err != nil {
+		return 0, err
+	}
+	d.next++
+	return d.next, nil
+}
+
+// Release mutates durable state with no hook anywhere.
+func (d *Device) Release(id int) {
+	delete(d.data, id) // want `before any fault-injection hook`
+}
+
+// Truncate writes through a local alias of receiver state, hook-free.
+func (d *Device) Truncate(id, n int) {
+	f := d.data[id]
+	f[0] = byte(n) // want `before any fault-injection hook`
+}
+
+// Bump hooks only after the first mutation; the early one is flagged.
+func (d *Device) Bump() error {
+	d.next++ // want `before any fault-injection hook`
+	if err := d.hook("pmem.bump"); err != nil {
+		return err
+	}
+	d.next++
+	return nil
+}
+
+// SetFault installs the injector itself; exempt by definition.
+func (d *Device) SetFault(in *fault.Injector) { d.fault = in }
+
+// Stats only reads; nothing to hook.
+func (d *Device) Stats() int { return d.next }
+
+// reset is unexported: not part of the public durability surface.
+func (d *Device) reset() { d.next = 0 }
+
+// Discard is a known-unhookable cleanup, suppressed with a reason.
+func (d *Device) Discard(id int) {
+	//pmblade:allow faultcover fixture demonstrating suppression
+	delete(d.data, id)
+}
+
+// Plain has no injector field; its methods are out of scope.
+type Plain struct{ n int }
+
+// Grow mutates freely: Plain is not fault-instrumented.
+func (p *Plain) Grow() { p.n++ }

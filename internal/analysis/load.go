@@ -22,6 +22,23 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// prog is the interprocedural summary table shared by every package of
+	// the loader that produced this one; nil for driver-built packages (the
+	// go vet protocol), which fall back to a single-package Program.
+	prog *Program
+}
+
+// Program returns the interprocedural summary table covering this package.
+// Loader-produced packages share one Program across the whole module;
+// packages constructed directly (export-data drivers) get a private Program
+// limited to this package's source plus the intrinsic device summaries.
+func (p *Package) Program() *Program {
+	if p.prog == nil {
+		p.prog = NewProgram(nil)
+	}
+	p.prog.Ensure(p)
+	return p.prog
 }
 
 // Loader parses and type-checks packages of one module from source. Imports
@@ -42,6 +59,10 @@ type Loader struct {
 	cache map[string]*Package
 	// loading guards against import cycles.
 	loading map[string]bool
+	// prog is the shared interprocedural summary table; every package this
+	// loader produces points at it, so summaries computed while analyzing one
+	// package are reused by the next.
+	prog *Program
 }
 
 // NewLoader returns a loader rooted at the module in dir.
@@ -128,7 +149,10 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	if l.prog == nil {
+		l.prog = NewProgram(func(path string) (*Package, error) { return l.Load(path) })
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info, prog: l.prog}
 	l.cache[path] = p
 	return p, nil
 }

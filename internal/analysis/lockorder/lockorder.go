@@ -19,13 +19,15 @@
 //     callee that may — while majorMu is held is the global write stall
 //     PR 5 removed (DESIGN.md §5.6).
 //
-// The analysis is intra-procedural over source order, with two package-wide
-// fixpoints: a function "may acquire majorMu" if it locks it directly or
-// calls a same-package function that may, and a function "may compact" if
-// it carries //pmblade:compacts or calls a same-package function that may.
-// Holding a maint lock across a call to a may-acquire-majorMu function is
-// rule 2's violation; holding majorMu across a call to a may-compact
-// function is rule 4's. A maint.Lock inside a loop with no maint.Unlock in
+// The analysis replays each function's lock events in source order; the two
+// transitive call facts — "may acquire majorMu" (locks it directly or calls
+// a function that may) and "may compact" (carries //pmblade:compacts or
+// calls a function that may) — come from the shared interprocedural
+// summaries (analysis.Program), so under the source loader they propagate
+// across package boundaries, not just within the package. Holding a maint
+// lock across a call to a may-acquire-majorMu function is rule 2's
+// violation; holding majorMu across a call to a may-compact function is
+// rule 4's. A maint.Lock inside a loop with no maint.Unlock in
 // the same loop body is treated as multi-partition acquisition (rule 3); a
 // descending loop counter there is a lock-order inversion between
 // partitions.
@@ -69,21 +71,10 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	mayLockMajor, mayCompact := computeCallFacts(pass, decls)
+	prog := pass.Program()
+	decls := analysis.FuncDecls(pass.Package())
 	for _, fd := range decls {
-		checkFunc(pass, fd, mayLockMajor, mayCompact)
+		checkFunc(pass, prog, fd)
 	}
 	return nil
 }
@@ -106,74 +97,6 @@ func mutexCall(call *ast.CallExpr) (base, mutex, op string, ok bool) {
 	return types.ExprString(inner.X), inner.Sel.Name, op, true
 }
 
-// callee resolves a call to a function declared in this package.
-func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || fn.Pkg() != pass.Pkg {
-		return nil
-	}
-	return fn
-}
-
-// computeCallFacts runs the package-wide fixpoints of the two transitive
-// properties: rule 2's "may acquire majorMu" (locks it directly, or calls a
-// same-package function that may) and rule 4's "may compact" (carries
-// //pmblade:compacts, or calls a same-package function that may). Both
-// traversals include function literals: a closure handed to a fan-out still
-// runs while the caller's invariants are in force.
-func computeCallFacts(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) (mayLockMajor, mayCompact map[*types.Func]bool) {
-	calls := map[*types.Func][]*types.Func{}
-	mayLockMajor = map[*types.Func]bool{}
-	mayCompact = map[*types.Func]bool{}
-	for fn, fd := range decls {
-		if len(analysis.CommentDirectives(analysis.CompactsDirective, fd.Doc)) > 0 {
-			mayCompact[fn] = true
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if _, mutex, op, ok := mutexCall(call); ok && mutex == majorName && op == "Lock" {
-				mayLockMajor[fn] = true
-			}
-			if target := callee(pass, call); target != nil {
-				calls[fn] = append(calls[fn], target)
-			}
-			return true
-		})
-	}
-	propagate := func(may map[*types.Func]bool) {
-		for changed := true; changed; {
-			changed = false
-			for fn, targets := range calls {
-				if may[fn] {
-					continue
-				}
-				for _, t := range targets {
-					if may[t] {
-						may[fn] = true
-						changed = true
-						break
-					}
-				}
-			}
-		}
-	}
-	propagate(mayLockMajor)
-	propagate(mayCompact)
-	return mayLockMajor, mayCompact
-}
-
 type event struct {
 	pos  token.Pos
 	kind string // "maintLock", "maintUnlock", "majorLock", "majorUnlock", "call"
@@ -185,6 +108,8 @@ type event struct {
 	descending bool
 	deferred   bool
 	fn         *types.Func // for call events
+	locksMajor bool        // callee's transitive summary facts
+	compacts   bool
 }
 
 // loopInfo describes the innermost enclosing loop of a node.
@@ -203,7 +128,7 @@ func isDescendingFor(fs *ast.ForStmt) bool {
 	return false
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor, mayCompact map[*types.Func]bool) {
+func checkFunc(pass *analysis.Pass, prog *analysis.Program, fd *ast.FuncDecl) {
 	var events []event
 	var deferSpans [][2]token.Pos
 	var loops []loopInfo
@@ -245,8 +170,13 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor, mayCompact m
 					}
 					events = append(events, event{pos: n.Pos(), kind: kind, base: base})
 				}
-			} else if fn := callee(pass, n); fn != nil && (mayLockMajor[fn] || mayCompact[fn]) {
-				events = append(events, event{pos: n.Pos(), kind: "call", fn: fn})
+			} else if fn := analysis.ResolveCallee(pass.TypesInfo, n); fn != nil {
+				if s := prog.Summary(fn); s != nil && (s.LocksMajor || s.Compacts) {
+					events = append(events, event{
+						pos: n.Pos(), kind: "call", fn: fn,
+						locksMajor: s.LocksMajor, compacts: s.Compacts,
+					})
+				}
 			}
 		}
 		// Recurse over children in source order.
@@ -319,12 +249,12 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, mayLockMajor, mayCompact m
 				delete(maintHeld, e.base)
 			}
 		case "call":
-			if len(maintHeld) > 0 && mayLockMajor[e.fn] {
+			if len(maintHeld) > 0 && e.locksMajor {
 				pass.Reportf(e.pos,
 					"%s may acquire majorMu, called while holding a partition maint lock (%s); lock order is majorMu before maint",
 					e.fn.Name(), oneKey(maintHeld))
 			}
-			if majorHeld > 0 && mayCompact[e.fn] {
+			if majorHeld > 0 && e.compacts {
 				pass.Reportf(e.pos,
 					"%s performs compaction I/O, called while majorMu is held; majorMu covers only the victim decision — snapshot the victims and release it before compacting",
 					e.fn.Name())

@@ -171,3 +171,17 @@ func (db *DB) evictUnderMajorTransitive(p *partition) {
 func (db *DB) evictLockedCompacts(p *partition) {
 	db.compactToSSD(p) // want `compactToSSD performs compaction I/O, called while majorMu is held`
 }
+
+// holdsThenCompact exercises the interplay of the two directive mechanisms:
+// //pmblade:holds seeds majorMu-held replay state, so both compaction calls
+// below are diagnosed purely from directive-established state; the allow
+// comment then suppresses only the line below it, so the second call must
+// still be reported — a suppression covers one line, never the directive's
+// whole scope.
+//
+//pmblade:holds majorMu
+func (db *DB) holdsThenCompact(p *partition) {
+	//pmblade:allow lockorder fixture: suppression composes with holds state
+	db.compactToSSD(p)
+	db.compactToSSD(p) // want `compactToSSD performs compaction I/O, called while majorMu is held`
+}

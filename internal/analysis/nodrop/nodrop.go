@@ -7,10 +7,21 @@
 // statement, behind `go`/`defer`, or into the blank identifier — silently
 // converts a failed write into data loss discovered at recovery time.
 //
-// The analyzer flags any call whose callee is declared in one of those
-// packages and returns an error, when that error does not flow into a named
-// variable or a return. Intentional discards (there are almost none) must be
-// annotated //pmblade:allow nodrop with a reason.
+// Two detections run at every discard site:
+//
+//   - Direct: the callee is declared in one of the scoped packages and
+//     returns an error. This needs no whole-program information, so it holds
+//     under the go vet driver too.
+//   - Transitive: the callee's interprocedural summary (see Program) shows a
+//     durability effect — it generates or flushes device writes — and its
+//     last result is an error. This catches wrappers like an engine flush
+//     helper that reaches ssd.Sync three frames down.
+//
+// Test files are exempt: tests exercise failure paths and shut down
+// scaffolding where discarding a close error is routine, and the vet driver
+// (unlike the source loader) hands analyzers _test.go files. Intentional
+// non-test discards (there are almost none) must be annotated
+// //pmblade:allow nodrop with a reason.
 package nodrop
 
 import (
@@ -23,8 +34,8 @@ import (
 // Analyzer is the nodrop pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nodrop",
-	Doc: "forbid discarding errors from wal/ssd/pmem calls (the durability path); " +
-		"propagate or handle them",
+	Doc: "forbid discarding errors from wal/ssd/pmem calls and from functions " +
+		"that transitively perform durability work; propagate or handle them",
 	Run: run,
 }
 
@@ -34,6 +45,17 @@ var scoped = []string{
 	"internal/wal",
 	"internal/ssd",
 	"internal/pmem",
+}
+
+// lastResultIsError reports whether fn's final result is the builtin error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
 }
 
 // durabilityCallee reports whether call resolves to a function declared in a
@@ -62,38 +84,65 @@ func durabilityCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) 
 	if !inScope {
 		return nil, false
 	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() == 0 {
-		return nil, false
-	}
-	last := sig.Results().At(sig.Results().Len() - 1).Type()
-	named, ok := last.(*types.Named)
-	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+	if !lastResultIsError(fn) {
 		return nil, false
 	}
 	return fn, true
 }
 
+// transitiveCallee reports whether call resolves to an error-returning
+// function whose summary carries a durability effect: it writes or flushes a
+// device class somewhere down its call tree. Such a function's error is a
+// durability verdict no matter which package declares it. Publish-only
+// effects (PubDirty — retiring a predecessor file, say) are deliberately
+// excluded: a failed retirement leaks space rather than losing data, and
+// including them would drag the whole read path in through table unref.
+func transitiveCallee(prog *analysis.Program, info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fn := analysis.ResolveCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || !lastResultIsError(fn) {
+		return nil, false
+	}
+	s := prog.Summary(fn)
+	for c := analysis.Class(0); c < analysis.NumClasses; c++ {
+		if s.Gen[c] || s.Flushes[c] {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
 func run(pass *analysis.Pass) error {
+	prog := pass.Program()
 	report := func(call *ast.CallExpr, fn *types.Func, how string) {
 		pass.Reportf(call.Pos(), "error from %s.%s %s; durability-path errors must be propagated",
 			fn.Pkg().Name(), fn.Name(), how)
 	}
+	// classify runs the direct check first (precise attribution, driver
+	// independent) and falls back to the summary-based transitive check.
+	classify := func(call *ast.CallExpr) (*types.Func, bool) {
+		if fn, ok := durabilityCallee(pass.TypesInfo, call); ok {
+			return fn, true
+		}
+		return transitiveCallee(prog, pass.TypesInfo, call)
+	}
 	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := st.X.(*ast.CallExpr); ok {
-					if fn, ok := durabilityCallee(pass.TypesInfo, call); ok {
+					if fn, ok := classify(call); ok {
 						report(call, fn, "discarded")
 					}
 				}
 			case *ast.DeferStmt:
-				if fn, ok := durabilityCallee(pass.TypesInfo, st.Call); ok {
+				if fn, ok := classify(st.Call); ok {
 					report(st.Call, fn, "discarded by defer")
 				}
 			case *ast.GoStmt:
-				if fn, ok := durabilityCallee(pass.TypesInfo, st.Call); ok {
+				if fn, ok := classify(st.Call); ok {
 					report(st.Call, fn, "discarded by go statement")
 				}
 			case *ast.AssignStmt:
@@ -103,7 +152,7 @@ func run(pass *analysis.Pass) error {
 					if !ok {
 						return true
 					}
-					fn, ok := durabilityCallee(pass.TypesInfo, call)
+					fn, ok := classify(call)
 					if !ok {
 						return true
 					}
@@ -119,7 +168,7 @@ func run(pass *analysis.Pass) error {
 					if !ok {
 						continue
 					}
-					fn, ok := durabilityCallee(pass.TypesInfo, call)
+					fn, ok := classify(call)
 					if !ok {
 						continue
 					}

@@ -2,7 +2,10 @@
 // any package.
 package app
 
-import "internal/wal"
+import (
+	"internal/ssd"
+	"internal/wal"
+)
 
 func drops(w *wal.Writer, p []byte) {
 	w.Append(p)     // want `error from wal\.Append discarded`
@@ -40,4 +43,35 @@ func suppressed(w *wal.Writer) {
 	// Shutdown paths may intentionally ignore a close error, with a reason:
 	//pmblade:allow nodrop fixture demonstrating suppression
 	w.Close()
+}
+
+// persist is an unscoped wrapper whose summary carries a durability effect
+// (ssd.Append generates unsynced flash writes); discarding its error is the
+// transitive form of the same bug.
+func persist(d *ssd.Device, f ssd.FileID, p []byte) error {
+	_, err := d.Append(f, p)
+	return err
+}
+
+// settle wraps the flush side; its summary shows Flushes[ssd].
+func settle(d *ssd.Device, f ssd.FileID) error {
+	return d.Sync(f)
+}
+
+// compute returns an error but touches no device; nodrop has no opinion
+// about discarding it.
+func compute() error { return nil }
+
+func dropsTransitive(d *ssd.Device, f ssd.FileID, p []byte) {
+	persist(d, f, p)    // want `error from app\.persist discarded`
+	_ = settle(d, f)    // want `error from app\.settle assigned to _`
+	go persist(d, f, p) // want `error from app\.persist discarded by go statement`
+	compute()           // no durability effect in the summary: not nodrop's business
+}
+
+func handlesTransitive(d *ssd.Device, f ssd.FileID, p []byte) error {
+	if err := persist(d, f, p); err != nil {
+		return err
+	}
+	return settle(d, f)
 }

@@ -1,15 +1,25 @@
-// Package nondeterminism rejects wall-clock and global-randomness use in the
-// packages that must stay deterministic: the Eq. 1–3 cost-model machinery
-// (internal/costmodel), the compaction planner (internal/compaction), and the
-// paper-reproduction harness (internal/experiments). Their outputs are
-// compared against the paper's tables and figures, so a stray time.Now or an
-// unseeded rand call turns a reproduction into a flake.
+// Package nondeterminism rejects wall-clock and global-randomness use in
+// code that has opted into determinism with a //pmblade:deterministic
+// directive. The Eq. 1–3 cost-model machinery (internal/costmodel), the
+// compaction planner (internal/compaction), the paper-reproduction harness
+// (internal/experiments), and the device/fault layers (crash-point
+// enumeration replays a workload and needs the identical op sequence every
+// pass) all carry "package"-scope directives: their outputs are compared
+// against the paper's tables and figures, so a stray time.Now or an unseeded
+// rand call turns a reproduction into a flake.
 //
-// internal/engine is scoped per file: its operational paths measure real
-// latencies and may read the wall clock, but compact.go feeds the
-// deterministic cost models (partitionCostState is Table II's observation
-// point), so that one file is held to the same standard and must take clock
-// readings through pmblade/internal/clock (NowNanos / SecondsSince).
+// Scope is declared in the source itself, not in an analyzer-side list:
+//
+//	//pmblade:deterministic package   — every file of the package
+//	//pmblade:deterministic file      — only the file carrying the comment
+//
+// The file form exists for packages that are deterministic in one file only:
+// internal/engine's operational paths measure real latencies and may read
+// the wall clock, but compact.go feeds the deterministic cost models
+// (partitionCostState is Table II's observation point), so that file carries
+// a file-scope directive and takes clock readings through
+// pmblade/internal/clock (NowNanos / SecondsSince). Any other argument to
+// the directive is itself a diagnostic, so a typo cannot silently opt out.
 //
 // Banned: the time package's clock readers and timers (Now, Since, Until,
 // Sleep, After, AfterFunc, Tick, NewTimer, NewTicker) and math/rand's
@@ -23,7 +33,7 @@ package nondeterminism
 import (
 	"go/ast"
 	"go/types"
-	"path/filepath"
+	"strings"
 
 	"pmblade/internal/analysis"
 )
@@ -31,30 +41,9 @@ import (
 // Analyzer is the nondeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondeterminism",
-	Doc: "forbid time.Now/math/rand globals in the deterministic packages " +
-		"(costmodel, compaction, experiments, device, fault) and in the " +
-		"engine's compaction decision files; inject internal/clock or a seeded rand.Rand",
+	Doc: "forbid time.Now/math/rand globals in files opted in with " +
+		"//pmblade:deterministic package|file; inject internal/clock or a seeded rand.Rand",
 	Run: run,
-}
-
-// scoped lists the package-path suffixes the analyzer applies to.
-var scoped = []string{
-	"internal/costmodel",
-	"internal/compaction",
-	"internal/experiments",
-	// The device-stats accounting and the fault-injection layer must be
-	// reproducible from a seed: crash-point enumeration replays a workload
-	// and requires the identical device-op sequence on every pass.
-	"internal/device",
-	"internal/fault",
-}
-
-// scopedFiles restricts the check to named files of otherwise-exempt
-// packages (base filenames). internal/engine may read the wall clock on its
-// operational paths, but its compaction decision file feeds the
-// deterministic cost models.
-var scopedFiles = map[string]map[string]bool{
-	"internal/engine": {"compact.go": true},
 }
 
 var bannedTime = map[string]bool{
@@ -70,60 +59,68 @@ var allowedRand = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	inScope := false
-	for _, s := range scoped {
-		if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
-			inScope = true
-			break
-		}
-	}
-	// only, when non-nil, limits the check to specific files of the package.
-	var only map[string]bool
-	if !inScope {
-		for s, files := range scopedFiles {
-			if analysis.HasSuffixPath(pass.Pkg.Path(), s) {
-				only = files
-				inScope = true
-				break
+	packageScope := false
+	fileScope := map[*ast.File]bool{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, analysis.DeterministicDirective) {
+					continue
+				}
+				arg := strings.TrimSpace(text[len(analysis.DeterministicDirective):])
+				switch arg {
+				case "package":
+					packageScope = true
+				case "file":
+					fileScope[f] = true
+				default:
+					pass.Reportf(c.Pos(),
+						"malformed //pmblade:deterministic directive %q: want \"package\" or \"file\"", arg)
+				}
 			}
 		}
-	}
-	if !inScope {
-		return nil
 	}
 	for _, f := range pass.Files {
-		if only != nil && !only[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+		if !packageScope && !fileScope[f] {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
-			if !ok {
-				return true
-			}
-			switch pkgName.Imported().Path() {
-			case "time":
-				if bannedTime[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(),
-						"time.%s in deterministic package %s; use pmblade/internal/clock (Stopwatch) instead",
-						sel.Sel.Name, pass.Pkg.Name())
-				}
-			case "math/rand", "math/rand/v2":
-				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !allowedRand[sel.Sel.Name] {
-					pass.Reportf(sel.Pos(),
-						"rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed))",
-						sel.Sel.Name)
-				}
-			}
-			return true
-		})
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkFile(pass, f)
 	}
 	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "time":
+			if bannedTime[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in deterministic package %s; use pmblade/internal/clock (Stopwatch) instead",
+					sel.Sel.Name, pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !allowedRand[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global source; use a seeded rand.New(rand.NewSource(seed))",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
 }

@@ -1,8 +1,10 @@
 package nondeterminism_test
 
 import (
+	"strings"
 	"testing"
 
+	"pmblade/internal/analysis"
 	"pmblade/internal/analysis/analysistest"
 	"pmblade/internal/analysis/nondeterminism"
 )
@@ -10,4 +12,23 @@ import (
 func TestNondeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", nondeterminism.Analyzer,
 		"internal/costmodel", "internal/engine", "freepkg")
+}
+
+// TestMalformedDirective asserts the malformed-directive diagnostic, which
+// cannot be expressed as a // want comment (it would share the directive's
+// own comment line). The time.Now in the same package must NOT be reported:
+// a bad directive does not opt the package in.
+func TestMalformedDirective(t *testing.T) {
+	loader := analysis.NewLoader("fixture.invalid", "testdata/src", "testdata/src")
+	pkg, err := loader.Load("baddet")
+	if err != nil {
+		t.Fatalf("load baddet: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(nondeterminism.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed //pmblade:deterministic") {
+		t.Fatalf("want exactly one malformed-directive diagnostic, got %v", diags)
+	}
 }

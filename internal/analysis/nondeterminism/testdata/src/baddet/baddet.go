@@ -1,0 +1,15 @@
+// Package baddet carries a misspelled determinism directive; the analyzer
+// must flag the directive itself so the typo cannot silently opt the
+// package out of checking. (Asserted directly by TestMalformedDirective:
+// the diagnostic lands on the comment line, where analysistest cannot
+// place a want marker.)
+
+//pmblade:deterministic whole-repo
+
+package baddet
+
+import "time"
+
+func Clock() time.Time {
+	return time.Now()
+}

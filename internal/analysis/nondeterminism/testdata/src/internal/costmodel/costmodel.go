@@ -1,6 +1,9 @@
 // Package costmodel is a fixture standing in for pmblade/internal/costmodel:
-// its import path ends in internal/costmodel, so the nondeterminism analyzer
-// applies.
+// the package-scope directive below opts every file of the package into the
+// nondeterminism analyzer.
+
+//pmblade:deterministic package
+
 package costmodel
 
 import (
@@ -17,7 +20,7 @@ func clocks() time.Duration {
 }
 
 func timers() {
-	<-time.After(time.Millisecond) // want `time\.After in deterministic package`
+	<-time.After(time.Millisecond)  // want `time\.After in deterministic package`
 	_ = time.NewTicker(time.Second) // want `time\.NewTicker in deterministic package`
 }
 

@@ -1,6 +1,9 @@
-// Package engine is a fixture whose import path ends in internal/engine:
-// the nondeterminism analyzer applies only to the compaction decision file
-// (compact.go), not to the rest of the package.
+// Package engine is a fixture standing in for pmblade/internal/engine: the
+// file-scope directive below holds only this file (the compaction decision
+// file) to the deterministic standard, not the rest of the package.
+
+//pmblade:deterministic file
+
 package engine
 
 import "time"

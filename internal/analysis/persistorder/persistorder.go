@@ -1,0 +1,72 @@
+// Package persistorder enforces the persist-before-publish contract
+// (DESIGN.md §5.7): a pmem.WriteAt or ssd.Append whose bytes become
+// reachable — via a manifest root install (ssd.SetRoot), a Release/Delete of
+// the predecessor region, or a statement marked //pmblade:publish (the WAL
+// commit ack) — must first be covered by pmem.Flush / ssd.Sync on every
+// path. Publishing unflushed bytes means a crash can recover into a state
+// that references data the media never received.
+//
+// The check is interprocedural: each function's effect on the two dirt
+// classes (pm, ssd) comes from its shared summary (analysis.Program), so a
+// write in a helper, a flush behind a retry closure, and a publish three
+// calls away all compose. Releasing a region or file allocated in the same
+// function is discarding unpublished state, not publishing a predecessor,
+// and is exempt. Functions that publish their own dirty writes are reported
+// where the violation occurs; functions that publish only when *entered*
+// dirty are reported at the call site that enters them dirty.
+package persistorder
+
+import (
+	"strings"
+
+	"pmblade/internal/analysis"
+)
+
+// Analyzer is the persistorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "persistorder",
+	Doc: "require pmem.Flush/ssd.Sync to cover device writes before any publish " +
+		"(manifest install, predecessor release, or //pmblade:publish statement)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prog := pass.Program()
+	pkg := pass.Package()
+	for _, fd := range analysis.FuncDecls(pkg) {
+		if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		var entry [analysis.NumClasses]bool
+		prog.ReplayPersist(pkg, fd, entry, pass.Reportf)
+	}
+	checkDirectives(pass)
+	return nil
+}
+
+// checkDirectives reports malformed //pmblade:publish comments: the
+// directive is load-bearing (a publish point nobody replays is a hole in
+// the contract), so a class list that parses to nothing is an error.
+func checkDirectives(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, analysis.PublishDirective) {
+					continue
+				}
+				valid := 0
+				args := strings.Fields(strings.TrimSpace(text[len(analysis.PublishDirective):]))
+				for _, tok := range args {
+					if _, ok := analysis.ParseClass(tok); ok {
+						valid++
+					}
+				}
+				if valid == 0 || valid != len(args) {
+					pass.Reportf(c.Pos(),
+						"malformed //pmblade:publish directive %q: want one or more classes from {pm, ssd}", text)
+				}
+			}
+		}
+	}
+}

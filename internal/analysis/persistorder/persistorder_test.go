@@ -1,0 +1,32 @@
+package persistorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"pmblade/internal/analysis"
+	"pmblade/internal/analysis/analysistest"
+	"pmblade/internal/analysis/persistorder"
+)
+
+func TestPersistOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", persistorder.Analyzer, "app")
+}
+
+// TestMalformedDirective asserts the malformed-directive diagnostic, which
+// cannot be expressed as a // want comment (it would share the directive's
+// own comment line).
+func TestMalformedDirective(t *testing.T) {
+	loader := analysis.NewLoader("fixture.invalid", "testdata/src", "testdata/src")
+	pkg, err := loader.Load("badpub")
+	if err != nil {
+		t.Fatalf("load badpub: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(persistorder.Analyzer, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed //pmblade:publish") {
+		t.Fatalf("want exactly one malformed-directive diagnostic, got %v", diags)
+	}
+}

@@ -1,0 +1,128 @@
+// Package app exercises the persist-before-publish contract across direct,
+// interprocedural, closure, and directive-marked publish points.
+package app
+
+import (
+	"internal/pmem"
+	"internal/ssd"
+)
+
+// --- direct violations and fixes ---------------------------------------
+
+func publishUnflushed(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	d.WriteAt(a, 0, p)
+	d.Release(old) // want `publishes device state with unflushed pm writes`
+}
+
+func publishFlushed(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	d.WriteAt(a, 0, p)
+	d.Flush()
+	d.Release(old) // flushed: clean
+}
+
+func rootUnflushed(s *ssd.Device, id ssd.FileID, p []byte) {
+	s.Append(id, p)
+	s.SetRoot("MANIFEST", p) // want `publishes device state with unflushed ssd writes`
+}
+
+func rootFlushed(s *ssd.Device, id ssd.FileID, p []byte) {
+	s.Append(id, p)
+	s.Sync(id)
+	s.SetRoot("MANIFEST", p) // synced: clean
+}
+
+// --- self-allocated regions are cleanup, not publish --------------------
+
+func buildWithErrorPath(d *pmem.Device, p []byte) error {
+	addr, err := d.Alloc(len(p))
+	if err != nil {
+		return err
+	}
+	if err := d.WriteAt(addr, 0, p); err != nil {
+		d.Release(addr) // discarding our own unpublished region: clean
+		return err
+	}
+	return d.Flush()
+}
+
+// --- interprocedural composition ----------------------------------------
+
+// writeOnly dirties the pm class and returns without flushing.
+func writeOnly(d *pmem.Device, a pmem.Addr, p []byte) error {
+	return d.WriteAt(a, 0, p)
+}
+
+// installRoot publishes; entered dirty, the caller is at fault.
+func installRoot(s *ssd.Device, p []byte) error {
+	return s.SetRoot("MANIFEST", p)
+}
+
+func helperWriteThenPublish(d *pmem.Device, s *ssd.Device, a pmem.Addr, p []byte) {
+	writeOnly(d, a, p)
+	installRoot(s, p) // want `call to app\.installRoot publishes device state with unflushed pm writes`
+}
+
+func helperWriteFlushPublish(d *pmem.Device, s *ssd.Device, a pmem.Addr, p []byte) {
+	writeOnly(d, a, p)
+	d.Flush()
+	installRoot(s, p) // flushed before the publishing helper: clean
+}
+
+// flushAll is a flush behind one more call level.
+func flushAll(d *pmem.Device) error { return d.Flush() }
+
+func deepFlushPublish(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	writeOnly(d, a, p)
+	flushAll(d)
+	d.Release(old) // flush arrived through a helper: clean
+}
+
+// --- closures run with the caller's dirt in force -----------------------
+
+func retry(fn func() error) error { return fn() }
+
+func closureWriteThenPublish(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	retry(func() error { return d.WriteAt(a, 0, p) })
+	d.Release(old) // want `publishes device state with unflushed pm writes`
+}
+
+func closureFlushThenPublish(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	d.WriteAt(a, 0, p)
+	retry(func() error { return d.Flush() })
+	d.Release(old) // flush inside the closure: clean
+}
+
+// --- deferred flushes run after the publish ------------------------------
+
+func deferredFlushTooLate(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	defer d.Flush()
+	d.WriteAt(a, 0, p)
+	d.Release(old) // want `publishes device state with unflushed pm writes`
+}
+
+// --- //pmblade:publish directive ----------------------------------------
+
+func ackUnflushed(s *ssd.Device, id ssd.FileID, p []byte, ch chan error) {
+	_, err := s.Append(id, p)
+	//pmblade:publish ssd
+	ch <- err // want `publish point \(//pmblade:publish ssd\) reached with unflushed ssd writes`
+}
+
+func ackFlushed(s *ssd.Device, id ssd.FileID, p []byte, ch chan error) {
+	_, err := s.Append(id, p)
+	err2 := s.Sync(id)
+	if err == nil {
+		err = err2
+	}
+	//pmblade:publish ssd
+	ch <- err // synced before the ack: clean
+}
+
+// --- suppression --------------------------------------------------------
+
+func suppressedPublish(d *pmem.Device, a, old pmem.Addr, p []byte) {
+	d.WriteAt(a, 0, p)
+	// Recovery rewrites this region before anything reads it:
+	//pmblade:allow persistorder fixture demonstrating suppression
+	d.Release(old)
+}

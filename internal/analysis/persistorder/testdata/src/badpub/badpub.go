@@ -1,0 +1,10 @@
+// Package badpub carries a malformed //pmblade:publish directive; the
+// analyzer must flag it rather than silently treat the statement as
+// unmarked (persistorder_test asserts the diagnostic directly, since a
+// want comment cannot share the directive's line).
+package badpub
+
+func send(ch chan error) {
+	//pmblade:publish flash
+	ch <- nil
+}

@@ -1,0 +1,15 @@
+// Package ssd is a fixture stand-in: its import path ends in internal/ssd
+// and its Device methods carry the intrinsic durability summaries.
+package ssd
+
+// FileID names one flash file.
+type FileID uint64
+
+// Device mimics the flash device surface.
+type Device struct{}
+
+func (d *Device) Create() FileID                            { return 0 }
+func (d *Device) Append(id FileID, p []byte) (int64, error) { return 0, nil }
+func (d *Device) Sync(id FileID) error                      { return nil }
+func (d *Device) SetRoot(name string, p []byte) error       { return nil }
+func (d *Device) Delete(id FileID) error                    { return nil }

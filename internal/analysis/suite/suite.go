@@ -5,20 +5,27 @@ package suite
 
 import (
 	"pmblade/internal/analysis"
+	"pmblade/internal/analysis/aliasescape"
 	"pmblade/internal/analysis/crcbeforeuse"
+	"pmblade/internal/analysis/faultcover"
 	"pmblade/internal/analysis/guardedby"
 	"pmblade/internal/analysis/lockorder"
 	"pmblade/internal/analysis/nodrop"
 	"pmblade/internal/analysis/nondeterminism"
+	"pmblade/internal/analysis/persistorder"
 )
 
-// Analyzers returns the full pmblade-vet suite in deterministic order.
+// Analyzers returns the full pmblade-vet suite in deterministic
+// (alphabetical) order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		aliasescape.Analyzer,
 		crcbeforeuse.Analyzer,
+		faultcover.Analyzer,
 		guardedby.Analyzer,
 		lockorder.Analyzer,
 		nodrop.Analyzer,
 		nondeterminism.Analyzer,
+		persistorder.Analyzer,
 	}
 }

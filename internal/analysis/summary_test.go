@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materialises a throwaway module in a temp dir: keys are
+// slash-separated paths relative to the module root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// pmemStub is a device stand-in whose import path suffix and method names
+// carry the intrinsic summaries (Gen/Flushes/etc on pmem.Device).
+const pmemStub = `package pmem
+
+type Addr uint64
+
+type Device struct{}
+
+func (d *Device) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+func (d *Device) Flush() error                             { return nil }
+func (d *Device) Release(a Addr)                           {}
+func (d *Device) Alloc(n int) (Addr, error)                { return 0, nil }
+func (d *Device) View(a Addr, n int) []byte                { return nil }
+`
+
+// defOf resolves a function declared in pkg by name.
+func defOf(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	for _, fd := range FuncDecls(pkg) {
+		if fd.Name.Name == name {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, pkg.Path)
+	return nil
+}
+
+// importOf finds an imported package by path in pkg's direct imports.
+func importOf(t *testing.T, pkg *Package, path string) *types.Package {
+	t.Helper()
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	t.Fatalf("%s does not import %s", pkg.Path, path)
+	return nil
+}
+
+// scopeFunc looks up a package-level function in a types.Package scope.
+func scopeFunc(t *testing.T, tpkg *types.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := tpkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("%s.%s is not a function", tpkg.Path(), name)
+	}
+	return fn
+}
+
+// TestSCCMutualRecursionConvergence checks that the per-SCC fixpoint both
+// terminates and propagates effects around a cycle: ping writes PM then
+// calls pong, pong calls ping, and a three-function cycle threads an effect
+// introduced by only one member to all of them.
+func TestSCCMutualRecursionConvergence(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/pmem/pmem.go": pmemStub,
+		"app/app.go": `package app
+
+import "fixture.test/internal/pmem"
+
+func ping(d *pmem.Device, n int) {
+	if n == 0 {
+		return
+	}
+	d.WriteAt(nil, 0)
+	pong(d, n-1)
+}
+
+func pong(d *pmem.Device, n int) {
+	ping(d, n)
+}
+
+func a(d *pmem.Device, n int) { b(d, n) }
+func b(d *pmem.Device, n int) { c(d, n) }
+func c(d *pmem.Device, n int) {
+	d.WriteAt(nil, 0)
+	if n > 0 {
+		a(d, n-1)
+	}
+}
+
+func pure(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pure(n - 1)
+}
+`,
+	})
+	loader := NewLoader("fixture.test", dir)
+	pkg, err := loader.Load("fixture.test/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := pkg.Program()
+	for _, name := range []string{"ping", "pong", "a", "b", "c"} {
+		fn := defOf(t, pkg, name)
+		s := prog.Summary(fn)
+		if !s.Gen[ClassPM] {
+			t.Errorf("%s: Gen[PM] = false, want true (cycle must propagate the write)", name)
+		}
+		if s.Flushes[ClassPM] {
+			t.Errorf("%s: Flushes[PM] = true, want false", name)
+		}
+	}
+	// A self-recursive pure function converges to the identity summary.
+	s := prog.Summary(defOf(t, pkg, "pure"))
+	if s.Gen[ClassPM] || s.Gen[ClassSSD] || !s.Keep[ClassPM] || !s.Keep[ClassSSD] {
+		t.Errorf("pure: summary %+v, want identity", s)
+	}
+}
+
+// TestCrossPackageSummaries checks the on-demand load path: analyzing app
+// must pull lib's summary through the loader callback, and re-asking must
+// reuse the computed summary rather than recompute it.
+func TestCrossPackageSummaries(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/pmem/pmem.go": pmemStub,
+		"lib/lib.go": `package lib
+
+import "fixture.test/internal/pmem"
+
+// Persist is a durability wrapper: its summary must show Gen[PM] even when
+// only a downstream package is being analyzed.
+func Persist(d *pmem.Device, p []byte) error {
+	_, err := d.WriteAt(p, 0)
+	return err
+}
+
+// Settle flushes; its summary must show Flushes[PM] and a clean Keep.
+func Settle(d *pmem.Device) error { return d.Flush() }
+`,
+		"app/app.go": `package app
+
+import "fixture.test/lib"
+
+var Use = lib.Persist
+var Use2 = lib.Settle
+`,
+	})
+	loader := NewLoader("fixture.test", dir)
+	pkg, err := loader.Load("fixture.test/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := pkg.Program()
+
+	libPkg := importOf(t, pkg, "fixture.test/lib")
+	persist := scopeFunc(t, libPkg, "Persist")
+	settle := scopeFunc(t, libPkg, "Settle")
+
+	ps := prog.Summary(persist)
+	if !ps.Gen[ClassPM] {
+		t.Errorf("lib.Persist: Gen[PM] = false, want true (cross-package summary)")
+	}
+	ss := prog.Summary(settle)
+	if !ss.Flushes[ClassPM] || ss.Keep[ClassPM] {
+		t.Errorf("lib.Settle: summary %+v, want Flushes[PM] with Keep[PM]=false", ss)
+	}
+
+	// Summaries are computed once per Program and shared: the same pointer
+	// comes back, and loading lib explicitly afterwards must not reset it.
+	if again := prog.Summary(persist); again != ps {
+		t.Error("Summary(Persist) recomputed instead of reused")
+	}
+	lp, err := loader.Load("fixture.test/lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Program() != prog {
+		t.Error("lib and app do not share the loader's Program")
+	}
+	if again := prog.Summary(persist); again != ps {
+		t.Error("Summary(Persist) invalidated by loading its own package")
+	}
+}
+
+// TestSuppressionWindow pins the //pmblade:allow coverage rule the analyzers
+// rely on: a suppression silences its own line and the line below, nothing
+// further, and only for the named analyzer.
+func TestSuppressionWindow(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"app/app.go": `package app
+
+func f() {}
+
+func g() {
+	f()
+	//pmblade:allow probe covered: next line
+	f()
+	f()
+	f() //pmblade:allow probe covered: own line
+	//pmblade:allow other different analyzer
+	f()
+}
+`,
+	})
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every call statement",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if st, ok := n.(*ast.ExprStmt); ok {
+						if _, ok := st.X.(*ast.CallExpr); ok {
+							pass.Reportf(st.Pos(), "call statement")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	loader := NewLoader("fixture.test", dir)
+	pkg, err := loader.Load("fixture.test/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzer(probe, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five call statements in g: line 6 (kept), line 8 (suppressed by the
+	// comment above), line 9 (kept — outside the window), line 10
+	// (suppressed by the trailing comment), line 12 (kept — the allow names
+	// a different analyzer).
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, pkg.Fset.Position(d.Pos).Line)
+	}
+	want := []int{6, 9, 12}
+	if len(lines) != len(want) {
+		t.Fatalf("diagnostic lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("diagnostic lines = %v, want %v", lines, want)
+		}
+	}
+}

@@ -9,6 +9,8 @@
 // A Splitter divides one logical compaction into key-range subtasks so the
 // scheduler can use multiple workers (Section V-C's compaction task
 // manager).
+//
+//pmblade:deterministic package
 package compaction
 
 import (
@@ -199,6 +201,10 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 		if builder == nil {
 			return nil
 		}
+		// Finish publishes only on its abandon path — deleting its own
+		// not-yet-synced file — which the summary cannot tell apart from a
+		// predecessor retirement:
+		//pmblade:allow persistorder Finish's Delete discards its own abandoned file, not a predecessor
 		t, err := builder.Finish() // calls Barrier: drains + waits
 		builder = nil
 		if err != nil {

@@ -9,6 +9,8 @@
 // The scalar costs I_p, I_s, I_b and the thresholds τ_w, τ_m, τ_t are
 // tunables set from device characteristics, exactly as the paper prescribes
 // ("Setting Parameters").
+//
+//pmblade:deterministic package
 package costmodel
 
 import "sort"

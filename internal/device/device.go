@@ -3,6 +3,8 @@
 // latency model for each operation and keep byte-exact counters attributed to
 // a Cause, so write amplification can be reported from counters rather than
 // estimates.
+//
+//pmblade:deterministic package
 package device
 
 import (

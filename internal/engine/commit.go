@@ -112,7 +112,11 @@ func (db *DB) committer() {
 			n += int64(len(b))
 		}
 		db.metrics.WALCommitEntries.Add(n)
+		// Acking a writer publishes its batch as durable: the writer may
+		// acknowledge its client, which must never happen with WAL bytes
+		// still unsynced. persistorder checks every path to this statement.
 		for _, r := range reqs {
+			//pmblade:publish ssd
 			r.err <- err
 		}
 	}

@@ -1,3 +1,9 @@
+// This file feeds the deterministic cost models (partitionCostState is
+// Table II's observation point), so unlike the rest of the engine it may not
+// read the wall clock directly; time arrives through pmblade/internal/clock.
+
+//pmblade:deterministic file
+
 package engine
 
 import (

@@ -6,6 +6,8 @@
 // All experiments are scaled down from the paper's 200 GB / 10 M-operation
 // setups to complete on a laptop in seconds-to-minutes; EXPERIMENTS.md
 // records the scaling and the paper-vs-measured comparison.
+//
+//pmblade:deterministic package
 package experiments
 
 import (

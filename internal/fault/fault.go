@@ -17,6 +17,8 @@
 // Everything is seeded: no global rand, no wall clock. A failure schedule is
 // reproducible from the one-line (seed, point-index) pair the torture harness
 // prints. The crash-point harness lives in internal/fault/crashtest.
+//
+//pmblade:deterministic package
 package fault
 
 import (
@@ -40,6 +42,7 @@ const (
 	PMAlloc     Point = "pmem.alloc"
 	PMWrite     Point = "pmem.writeat"
 	PMFlush     Point = "pmem.flush"
+	PMRelease   Point = "pmem.release" // deferred free of a superseded region
 )
 
 // Op describes one intercepted device operation.

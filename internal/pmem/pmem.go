@@ -181,7 +181,13 @@ func (d *Device) Size(addr Addr) int64 {
 // Release returns a region's bytes to the free-space accounting. The
 // simulated arena is append-only, so data remains readable until overwritten;
 // this mirrors a real allocator's deferred reuse and keeps readers safe.
+// A fault at this point means the deferred free is lost to the crash — the
+// region simply stays accounted, exactly like a real allocator whose free
+// list never reached media (recovery re-derives liveness from the manifest).
 func (d *Device) Release(addr Addr) {
+	if dec := d.hook(fault.PMRelease, device.CauseUnknown, 0); dec.Err != nil {
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if n, ok := d.regions[addr]; ok {
