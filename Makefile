@@ -3,7 +3,7 @@
 GO ?= go
 VET_BIN := $(CURDIR)/bin/pmblade-vet
 
-.PHONY: build test race vet pmblade-vet vet-baseline crash bench-smoke stress-compact verify clean
+.PHONY: build test race vet pmblade-vet vet-baseline crash scrub-soak bench-smoke stress-compact verify clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ crash:
 	$(GO) run ./cmd/pmblade-crash -seed 42 -ops 400 -checkpoint-every -1 -q
 	$(GO) run ./cmd/pmblade-crash -seed 99 -ops 300 -checkpoint-every 10 -q
 
+# Seeded bit-rot soak: at-rest corruption is injected into live PM and SSD
+# table images, then the scrub → quarantine → restart → repair lifecycle is
+# checked end to end (100% detection, no wrong value served, readability
+# restored). Any failure prints its -scrub -seed/-ops/-rots reproduction.
+scrub-soak:
+	$(GO) run ./cmd/pmblade-crash -scrub -seed 1 -rots 50 -q
+	$(GO) run ./cmd/pmblade-crash -scrub -seed 7 -ops 600 -rots 60 -q
+
 # One iteration of every engine benchmark: catches benchmarks that no longer
 # compile or crash, without measuring anything.
 bench-smoke:
@@ -52,7 +60,7 @@ stress-compact:
 	$(GO) test -race -count=1 -run 'TestStressCompactEvict|TestEvictionDoesNotBlockPreservedPuts|TestEvictionVictimFaultIsolation|TestConcurrentEvictTriggersJoinOnePass' ./internal/engine
 
 # verify is the pre-merge gate: everything CI checks, in one target.
-verify: build vet pmblade-vet race stress-compact crash bench-smoke
+verify: build vet pmblade-vet race stress-compact crash scrub-soak bench-smoke
 
 clean:
 	rm -rf bin

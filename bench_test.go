@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pmblade/internal/clock"
 	"pmblade/internal/experiments"
@@ -208,6 +209,66 @@ func BenchmarkEngineGetSSD(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scrubOnDB mirrors benchDB with the background scrubber enabled:
+// back-to-back passes (1ms interval) at the default 8 MiB/s rate limit, the
+// worst realistic steady-state interference a read benchmark can see.
+func scrubOnDB(b *testing.B) *DB {
+	b.Helper()
+	cfg := FastOptions().resolve()
+	cfg.ScrubInterval = time.Millisecond
+	db, err := OpenEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// BenchmarkEngineGetSSDScrubOn is BenchmarkEngineGetSSD with the background
+// scrubber running throughout; the pair bounds the scrub's read-path tax
+// (<5% is the acceptance threshold, see BENCH_read.json).
+func BenchmarkEngineGetSSDScrubOn(b *testing.B) {
+	db := scrubOnDB(b)
+	val := make([]byte, 256)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Get([]byte(fmt.Sprintf("key-%06d", rng.Intn(n)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScan100ScrubOn pairs with BenchmarkEngineScan100 the same
+// way.
+func BenchmarkEngineScan100ScrubOn(b *testing.B) {
+	db := scrubOnDB(b)
+	val := make([]byte, 256)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%06d", i)), val)
+	}
+	db.Flush()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(n - 200)
+		if _, err := db.Scan([]byte(fmt.Sprintf("key-%06d", lo)), nil, 100); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,11 +4,16 @@
 // operation, and recovery from each resulting crash image is checked against
 // an in-memory oracle.
 //
+// With -scrub it instead runs the bit-rot soak: seeded at-rest corruption is
+// injected into the live table images and the scrub → quarantine → restart →
+// repair lifecycle is checked end to end.
+//
 // Usage:
 //
 //	pmblade-crash -seed 1 -ops 1000            # exhaustive enumeration
 //	pmblade-crash -seed 7 -ops 2000 -sample 500
 //	pmblade-crash -seed 1 -ops 1000 -point 137 # reproduce one failure
+//	pmblade-crash -scrub -seed 1 -rots 50      # bit-rot soak
 package main
 
 import (
@@ -26,8 +31,33 @@ func main() {
 	sample := flag.Int("sample", 0, "test only this many seeded-sampled crash points (0 = exhaustive)")
 	ckpt := flag.Int("checkpoint-every", 64, "insert an engine checkpoint every N client ops (-1 disables)")
 	point := flag.Int("point", 0, "test exactly this crash point (reproduction mode)")
+	scrub := flag.Bool("scrub", false, "run the bit-rot soak instead of the crash torture")
+	rots := flag.Int("rots", 50, "distinct corruptions to inject (soak mode)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	if *scrub {
+		sopts := crashtest.SoakOptions{
+			Seed:            *seed,
+			Ops:             *ops,
+			Rots:            *rots,
+			CheckpointEvery: *ckpt,
+		}
+		if !*quiet {
+			sopts.Log = func(format string, args ...any) {
+				log.Printf(format, args...)
+			}
+		}
+		rep, err := crashtest.RunSoak(sopts)
+		if err != nil {
+			log.Fatalf("pmblade-crash -scrub: %v", err)
+		}
+		fmt.Print(rep.String())
+		if len(rep.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := crashtest.Options{
 		Seed:            *seed,

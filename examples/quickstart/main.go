@@ -40,7 +40,9 @@ func main() {
 	if err := db.Delete([]byte("user-0042")); err != nil {
 		log.Fatal(err)
 	}
-	if _, ok, _ := db.Get([]byte("user-0042")); !ok {
+	if _, ok, err := db.Get([]byte("user-0042")); err != nil {
+		log.Fatal(err)
+	} else if !ok {
 		fmt.Println("user-0042 deleted")
 	}
 
@@ -68,11 +70,15 @@ func main() {
 	if err := db.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	db.Get([]byte("user-0500")) // now served from the PM level-0
+	if _, _, err := db.Get([]byte("user-0500")); err != nil { // now served from the PM level-0
+		log.Fatal(err)
+	}
 	if err := db.Compact(); err != nil {
 		log.Fatal(err)
 	}
-	db.Get([]byte("user-0500")) // now served from SSD
+	if _, _, err := db.Get([]byte("user-0500")); err != nil { // now served from SSD
+		log.Fatal(err)
+	}
 
 	m := db.Metrics()
 	fmt.Printf("reads by tier: memtable=%d pm=%d ssd=%d\n",

@@ -124,7 +124,11 @@ func powerCutDemo() {
 	defer re.Close()
 	lost := 0
 	for i := 0; i < acked; i++ {
-		if _, ok, _ := re.Get([]byte(fmt.Sprintf("pc-%05d", i))); !ok {
+		_, ok, err := re.Get([]byte(fmt.Sprintf("pc-%05d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
 			lost++
 		}
 	}

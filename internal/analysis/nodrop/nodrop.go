@@ -7,11 +7,18 @@
 // statement, behind `go`/`defer`, or into the blank identifier — silently
 // converts a failed write into data loss discovered at recovery time.
 //
-// Two detections run at every discard site:
+// Three detections run at every discard site:
 //
 //   - Direct: the callee is declared in one of the scoped packages and
 //     returns an error. This needs no whole-program information, so it holds
 //     under the go vet driver too.
+//   - Integrity: the callee's name marks it as an integrity verdict —
+//     Verify*/Scrub*/Salvage*/Repair*/Quarantine* returning an error. Such an
+//     error is a corruption detection; discarding it converts latent rot the
+//     scrub/repair machinery just found back into silent data loss. Matched
+//     by name so it holds under the go vet driver and for methods on any
+//     type (sstable.Table.VerifyBlocks, pmtable.Table.Verify, engine
+//     repair/quarantine helpers).
 //   - Transitive: the callee's interprocedural summary (see Program) shows a
 //     durability effect — it generates or flushes device writes — and its
 //     last result is an error. This catches wrappers like an engine flush
@@ -90,6 +97,36 @@ func durabilityCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) 
 	return fn, true
 }
 
+// integrityPrefixes are the name prefixes (compared case-insensitively on
+// the first rune) that mark an error-returning function as an integrity
+// verdict. The list mirrors the latent-corruption lifecycle: detection
+// (Verify, Scrub), containment (Quarantine), recovery (Salvage, Repair).
+var integrityPrefixes = []string{"Verify", "Scrub", "Salvage", "Repair", "Quarantine"}
+
+// integrityCallee reports whether call resolves to an error-returning
+// function whose name marks it as an integrity verdict, regardless of the
+// declaring package: corruption checks live in sstable, pmtable, wal, and
+// engine alike, and an unexported quarantine helper is as much a verdict as
+// an exported Verify.
+func integrityCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fn := analysis.ResolveCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || !lastResultIsError(fn) {
+		return nil, false
+	}
+	name := fn.Name()
+	for _, p := range integrityPrefixes {
+		if len(name) < len(p) {
+			continue
+		}
+		// Match both Verify and verify: unexported helpers carry the same
+		// verdict.
+		if name[1:len(p)] == p[1:] && (name[0] == p[0] || name[0] == p[0]+'a'-'A') {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
 // transitiveCallee reports whether call resolves to an error-returning
 // function whose summary carries a durability effect: it writes or flushes a
 // device class somewhere down its call tree. Such a function's error is a
@@ -113,17 +150,22 @@ func transitiveCallee(prog *analysis.Program, info *types.Info, call *ast.CallEx
 
 func run(pass *analysis.Pass) error {
 	prog := pass.Program()
-	report := func(call *ast.CallExpr, fn *types.Func, how string) {
-		pass.Reportf(call.Pos(), "error from %s.%s %s; durability-path errors must be propagated",
-			fn.Pkg().Name(), fn.Name(), how)
+	report := func(call *ast.CallExpr, fn *types.Func, kind, how string) {
+		pass.Reportf(call.Pos(), "error from %s.%s %s; %s errors must be propagated",
+			fn.Pkg().Name(), fn.Name(), how, kind)
 	}
-	// classify runs the direct check first (precise attribution, driver
-	// independent) and falls back to the summary-based transitive check.
-	classify := func(call *ast.CallExpr) (*types.Func, bool) {
+	// classify runs the driver-independent checks first (direct scope, then
+	// integrity names — both need only per-file type info) and falls back to
+	// the summary-based transitive check.
+	classify := func(call *ast.CallExpr) (*types.Func, string, bool) {
 		if fn, ok := durabilityCallee(pass.TypesInfo, call); ok {
-			return fn, true
+			return fn, "durability-path", true
 		}
-		return transitiveCallee(prog, pass.TypesInfo, call)
+		if fn, ok := integrityCallee(pass.TypesInfo, call); ok {
+			return fn, "integrity-verdict", true
+		}
+		fn, ok := transitiveCallee(prog, pass.TypesInfo, call)
+		return fn, "durability-path", ok
 	}
 	for _, f := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, f.Pos()) {
@@ -133,17 +175,17 @@ func run(pass *analysis.Pass) error {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := st.X.(*ast.CallExpr); ok {
-					if fn, ok := classify(call); ok {
-						report(call, fn, "discarded")
+					if fn, kind, ok := classify(call); ok {
+						report(call, fn, kind, "discarded")
 					}
 				}
 			case *ast.DeferStmt:
-				if fn, ok := classify(st.Call); ok {
-					report(st.Call, fn, "discarded by defer")
+				if fn, kind, ok := classify(st.Call); ok {
+					report(st.Call, fn, kind, "discarded by defer")
 				}
 			case *ast.GoStmt:
-				if fn, ok := classify(st.Call); ok {
-					report(st.Call, fn, "discarded by go statement")
+				if fn, kind, ok := classify(st.Call); ok {
+					report(st.Call, fn, kind, "discarded by go statement")
 				}
 			case *ast.AssignStmt:
 				// a, err := f()  — flag when the error position is blank.
@@ -152,13 +194,13 @@ func run(pass *analysis.Pass) error {
 					if !ok {
 						return true
 					}
-					fn, ok := classify(call)
+					fn, kind, ok := classify(call)
 					if !ok {
 						return true
 					}
 					errIdx := len(st.Lhs) - 1
 					if errIdx >= 0 && isBlank(st.Lhs[errIdx]) {
-						report(call, fn, "assigned to _")
+						report(call, fn, kind, "assigned to _")
 					}
 					return true
 				}
@@ -168,12 +210,12 @@ func run(pass *analysis.Pass) error {
 					if !ok {
 						continue
 					}
-					fn, ok := classify(call)
+					fn, kind, ok := classify(call)
 					if !ok {
 						continue
 					}
 					if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
-						report(call, fn, "assigned to _")
+						report(call, fn, kind, "assigned to _")
 					}
 				}
 			}

@@ -75,3 +75,40 @@ func handlesTransitive(d *ssd.Device, f ssd.FileID, p []byte) error {
 	}
 	return settle(d, f)
 }
+
+// The integrity-verdict rule is name-based: error-returning
+// Verify*/Scrub*/Salvage*/Repair*/Quarantine* callees carry a corruption
+// detection whichever package declares them, exported or not.
+
+type store struct{}
+
+func (s *store) Verify() error            { return nil }
+func (s *store) ScrubOnce() error         { return nil }
+func (s *store) RepairQuarantined() error { return nil }
+func (s *store) quarantine() error        { return nil }
+func salvageBlocks() (int, error)         { return 0, nil }
+
+// VerifyName returns data, not a verdict: no error result, no opinion.
+func (s *store) VerifyName() string { return "" }
+
+func dropsIntegrity(s *store) {
+	s.Verify()               // want `error from app\.Verify discarded; integrity-verdict`
+	_ = s.ScrubOnce()        // want `error from app\.ScrubOnce assigned to _`
+	go s.RepairQuarantined() // want `error from app\.RepairQuarantined discarded by go statement`
+	defer s.quarantine()     // want `error from app\.quarantine discarded by defer`
+	n, _ := salvageBlocks()  // want `error from app\.salvageBlocks assigned to _`
+	_ = n
+	_ = s.VerifyName() // not a verdict
+}
+
+func handlesIntegrity(s *store) error {
+	if err := s.Verify(); err != nil {
+		return err
+	}
+	n, err := salvageBlocks()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return s.ScrubOnce()
+}

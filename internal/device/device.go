@@ -31,6 +31,7 @@ const (
 	CauseClientRead  // foreground reads
 	CauseClientWrite // foreground writes (direct device writes, if any)
 	CauseManifest    // manifest (recovery metadata) writes
+	CauseScrub       // background integrity-scrub reads
 	numCauses
 )
 
@@ -53,6 +54,8 @@ func (c Cause) String() string {
 		return "write"
 	case CauseManifest:
 		return "manifest"
+	case CauseScrub:
+		return "scrub"
 	default:
 		return "unknown"
 	}

@@ -101,6 +101,16 @@ type Config struct {
 	// decisions (Eq. 1-3) do not depend on goroutine scheduling.
 	SyncFlush bool
 
+	// ScrubInterval is the pause between background integrity-scrub passes
+	// over the live tables (DESIGN.md §5.8). 0 — the default — disables the
+	// background scrubber; ScrubOnce remains available for synchronous
+	// passes. Crash-point enumeration relies on bit-identical device-op
+	// sequences, which is why the scrubber is opt-in rather than always-on.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec rate-limits scrub device reads; the zero value means
+	// the default of 8 MiB/s. Negative disables the limit (tests).
+	ScrubBytesPerSec int64
+
 	// FaultInjector, when set, is attached to both devices at Open/Recover
 	// (faultkit). nil disables fault injection.
 	FaultInjector *fault.Injector
@@ -169,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FaultRetries == 0 {
 		c.FaultRetries = 3
+	}
+	if c.ScrubBytesPerSec == 0 {
+		c.ScrubBytesPerSec = 8 << 20
 	}
 	if c.FaultRetryBackoff == 0 {
 		c.FaultRetryBackoff = 100 * time.Microsecond

@@ -104,6 +104,31 @@ type DB struct {
 	obsoleteMu  sync.Mutex
 	obsoletePM  []*pmtable.Table // guarded by: obsoleteMu
 	obsoleteSSD []*sstable.Table // guarded by: obsoleteMu
+
+	// Raw-ID obsolete queues for quarantined corpses (DESIGN.md §5.8).
+	// Corpses recovered from a manifest cannot always be reopened as table
+	// handles (the corruption may cover the metadata tail), and device-level
+	// Delete/Release by ID is idempotent, so repair retires corpses by ID
+	// rather than through the table-handle queues above.
+	obsoleteRawSSD []ssd.FileID // guarded by: obsoleteMu
+	obsoleteRawPM  []pmem.Addr  // guarded by: obsoleteMu
+
+	// Quarantine registry (DESIGN.md §5.8): tables pulled from the live sets
+	// after a corruption detection, held as corpses until RepairQuarantined
+	// salvages what their checksums still vouch for. A nil table value marks
+	// a corpse that could not be reopened after restart (record-only).
+	quarMu   sync.Mutex
+	quarSSD  map[ssd.FileID]*sstable.Table // guarded by: quarMu
+	quarPM   map[pmem.Addr]*pmtable.Table  // guarded by: quarMu
+	quarRecs []QuarantineRecord            // guarded by: quarMu
+
+	// scrubStop/scrubDone bound the background scrub loop's lifetime; nil
+	// when ScrubInterval is 0 (the default).
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
+	// repairMu serializes RepairQuarantined passes.
+	repairMu sync.Mutex
 }
 
 // evictState is one in-flight eviction pass. The owner writes err and then
@@ -149,6 +174,11 @@ type partition struct {
 	// update detector feeding n_i^u (Eq. 2).
 	seenMu sync.Mutex
 	seen   map[uint64]struct{} // guarded by: seenMu
+
+	// quar publishes this partition's quarantined key ranges to the read
+	// path: nil when nothing is quarantined, so the common case costs one
+	// atomic load on a miss. Rebuilt under DB.quarMu.
+	quar atomic.Pointer[[]quarSource]
 }
 
 // noteKeyWrite records a write in the update detector, reporting whether the
@@ -273,6 +303,7 @@ func (db *DB) startPipeline() {
 		db.commitDone = make(chan struct{})
 		go db.committer()
 	}
+	db.startScrub()
 }
 
 // Close drains the write pipeline and releases the engine: in-flight writers
@@ -282,6 +313,7 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return ErrClosed
 	}
+	db.stopScrub()
 	// Wait for in-flight writers to leave the commit path; afterwards no
 	// goroutine can send on commitC, so closing it is safe.
 	db.opGate.Lock()
@@ -351,13 +383,25 @@ func (db *DB) retireSST(t *sstable.Table) {
 func (db *DB) dropObsoleteLocked() {
 	db.obsoleteMu.Lock()
 	pmQ, ssdQ := db.obsoletePM, db.obsoleteSSD
+	rawPM, rawSSD := db.obsoleteRawPM, db.obsoleteRawSSD
 	db.obsoletePM, db.obsoleteSSD = nil, nil
+	db.obsoleteRawPM, db.obsoleteRawSSD = nil, nil
 	db.obsoleteMu.Unlock()
 	for _, t := range pmQ {
 		t.Release()
 	}
 	for _, t := range ssdQ {
 		t.Delete()
+	}
+	// Corpse retirement is by raw ID: device Delete/Release are idempotent,
+	// so a corpse that was independently retired cannot be double-freed.
+	for _, a := range rawPM {
+		if db.pm != nil {
+			db.pm.Release(a)
+		}
+	}
+	for _, f := range rawSSD {
+		db.ssd.Delete(f)
 	}
 }
 

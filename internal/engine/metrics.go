@@ -94,6 +94,31 @@ type Metrics struct {
 	MultiGetCoalescedReads atomic.Int64
 	MultiGetLatency        *histogram.Histogram
 
+	// ScrubPasses / ScrubTables / ScrubBytes describe the background
+	// integrity scrubber: passes completed, tables verified, and device bytes
+	// re-read for verification. ScrubCorruptions counts checksum failures the
+	// scrubber detected (per corrupt block or image, not per table).
+	ScrubPasses      atomic.Int64
+	ScrubTables      atomic.Int64
+	ScrubBytes       atomic.Int64
+	ScrubCorruptions atomic.Int64
+
+	// QuarantineIncidents counts tables pulled from the live set after a
+	// corruption detection (scrub or read-path); QuarantinedNow is the gauge
+	// of corpses currently awaiting repair. UnavailableReads counts reads
+	// that failed with ErrUnavailable because the sole candidate holder of
+	// the key range is quarantined.
+	QuarantineIncidents atomic.Int64
+	QuarantinedNow      atomic.Int64
+	UnavailableReads    atomic.Int64
+
+	// RepairPasses counts RepairQuarantined partition rebuilds;
+	// RepairBlocksSkipped counts corrupt blocks salvage had to skip (the data
+	// that was actually lost); RepairTablesRetired counts corpses retired.
+	RepairPasses        atomic.Int64
+	RepairBlocksSkipped atomic.Int64
+	RepairTablesRetired atomic.Int64
+
 	// cache backs CacheStats; nil when the engine runs uncached.
 	cache *sstable.BlockCache
 }

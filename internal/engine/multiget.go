@@ -10,6 +10,11 @@ import (
 type GetResult struct {
 	Value []byte
 	Found bool
+	// Err is this key's individual failure — ErrUnavailable when its only
+	// candidate source is quarantined, or the partition's read error. Keys in
+	// unaffected partitions resolve normally: one bad table fails only the
+	// keys that actually needed it, not the whole batch.
+	Err error
 }
 
 // MultiGet resolves many keys at a single snapshot and returns results
@@ -19,7 +24,10 @@ type GetResult struct {
 // filters before touching entry data, and coalesces SSD block reads so keys
 // co-located in a block (or in adjacent blocks) share one device read.
 // Partitions resolve in parallel with bounded fan-out through the scheduler
-// pool.
+// pool. Per-key failures (corruption, quarantined ranges) surface in each
+// GetResult's Err — mirroring the error the equivalent Get would return —
+// while the top-level error is reserved for whole-batch conditions
+// (ErrClosed).
 func (db *DB) MultiGet(keys [][]byte) ([]GetResult, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
@@ -51,19 +59,35 @@ func (db *DB) MultiGet(keys [][]byte) ([]GetResult, error) {
 	tiers := make([]Tier, len(keys))
 	errs := make([]error, len(active))
 	db.pool.Fan(len(active), func(g int) {
-		errs[g] = db.multiGetPartition(active[g], keys, activeIdx[g], seq, entries, found, tiers)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		err := db.multiGetPartition(active[g], keys, activeIdx[g], seq, entries, found, tiers)
+		if err != nil && db.healCorruption(active[g], err) {
+			// Self-healing: the corrupt table is quarantined; one retry against
+			// the remaining sources (multiGetPartition publishes results only
+			// on success, so the rerun starts from a clean slate).
+			err = db.multiGetPartition(active[g], keys, activeIdx[g], seq, entries, found, tiers)
 		}
-	}
+		errs[g] = err
+	})
 
-	for i := range keys {
-		db.metrics.CountRead(tiers[i])
-		if found[i] && entries[i].Kind != kv.KindDelete {
-			// Copy-out boundary: entry values may alias block cache memory.
-			results[i] = GetResult{Value: append([]byte(nil), entries[i].Value...), Found: true}
+	for g, p := range active {
+		if errs[g] != nil {
+			// Blast radius: only the keys that actually needed this partition
+			// fail; the other partitions' results stand.
+			for _, i := range activeIdx[g] {
+				results[i] = GetResult{Err: errs[g]}
+			}
+			continue
+		}
+		for _, i := range activeIdx[g] {
+			db.metrics.CountRead(tiers[i])
+			switch {
+			case p.quarShadowed(keys[i], found[i], tiers[i]):
+				db.metrics.UnavailableReads.Add(1)
+				results[i] = GetResult{Err: ErrUnavailable}
+			case found[i] && entries[i].Kind != kv.KindDelete:
+				// Copy-out boundary: entry values may alias block cache memory.
+				results[i] = GetResult{Value: append([]byte(nil), entries[i].Value...), Found: true}
+			}
 		}
 	}
 	db.metrics.MultiGetOps.Add(1)

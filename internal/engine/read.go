@@ -10,6 +10,12 @@ import (
 )
 
 // Get returns the newest value of key, or ok=false when absent or deleted.
+// A corrupt table encountered on the way is quarantined and the lookup
+// retried once against the remaining sources (self-healing); if a
+// quarantined table may have held the newest version of the key — a miss
+// inside its range, or a hit served from a tier the corpse could shadow —
+// Get fails with ErrUnavailable rather than lying with a silent not-found
+// or a stale value.
 func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
@@ -17,8 +23,15 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 	start := time.Now()
 	p := db.route(key)
 	e, ok, tier, err := db.get(p, key, db.seq.Load())
+	if err != nil && db.healCorruption(p, err) {
+		e, ok, tier, err = db.get(p, key, db.seq.Load())
+	}
 	if err != nil {
 		return nil, false, err
+	}
+	if p.quarShadowed(key, ok, tier) {
+		db.metrics.UnavailableReads.Add(1)
+		return nil, false, ErrUnavailable
 	}
 	db.metrics.ReadLatency.Record(time.Since(start))
 	db.metrics.CountRead(tier)
@@ -113,6 +126,15 @@ func (db *DB) Scan(start, end []byte, limit int) ([]ScanResult, error) {
 	begin := time.Now()
 	seq := db.seq.Load()
 	parts := db.partitionsInRange(start, end)
+	// A scan cannot route around a quarantined table with Bloom precision the
+	// way point reads can: any overlap with a quarantined key range makes the
+	// result set untrustworthy, so the scan fails conservatively.
+	for _, p := range parts {
+		if p.quarOverlaps(start, end) {
+			db.metrics.UnavailableReads.Add(1)
+			return nil, ErrUnavailable
+		}
+	}
 	var out []ScanResult
 	if len(parts) <= 1 {
 		for _, p := range parts {

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -36,6 +37,11 @@ type Manifest struct {
 	// recovery uses WALFiles.
 	WALFile    uint64         `json:"wal_file,omitempty"`
 	Partitions []PartManifest `json:"partitions"`
+	// Quarantine lists the tables pulled from the live sets after a
+	// corruption detection (DESIGN.md §5.8). They are NOT in Partitions; a
+	// restart re-establishes the quarantine — and the unavailable key ranges
+	// — instead of resurrecting corrupt tables or forgetting the loss.
+	Quarantine []QuarantineRecord `json:"quarantine,omitempty"`
 }
 
 // PartManifest is one partition's table inventory.
@@ -172,6 +178,9 @@ func (db *DB) buildManifest(extraWAL uint64) Manifest {
 		}
 		m.Partitions = append(m.Partitions, pm)
 	}
+	db.quarMu.Lock()
+	m.Quarantine = append([]QuarantineRecord(nil), db.quarRecs...)
+	db.quarMu.Unlock()
 	return m
 }
 
@@ -311,6 +320,46 @@ func manifestCandidates(sd *ssd.Device) []ssd.FileID {
 	return out
 }
 
+// recoverQuarantine converts a live-table reopen failure into a quarantine
+// when the failure is a corruption: recovery proceeds with the table out of
+// the live set and its key range marked unavailable (bounds unknown, so the
+// whole partition is conservatively flagged), instead of abandoning an
+// otherwise-intact manifest. Non-corruption failures report false and abort
+// the candidate as before.
+func (db *DB) recoverQuarantine(devClass string, id uint64, pid int, err error) bool {
+	switch devClass {
+	case "ssd":
+		if !errors.Is(err, sstable.ErrCorrupt) {
+			return false
+		}
+	case "pm":
+		if !errors.Is(err, pmtable.ErrCorrupt) {
+			return false
+		}
+	default:
+		return false
+	}
+	db.quarMu.Lock()
+	switch devClass {
+	case "ssd":
+		if db.quarSSD == nil {
+			db.quarSSD = make(map[ssd.FileID]*sstable.Table)
+		}
+		db.quarSSD[ssd.FileID(id)] = nil
+	case "pm":
+		if db.quarPM == nil {
+			db.quarPM = make(map[pmem.Addr]*pmtable.Table)
+		}
+		db.quarPM[pmem.Addr(id)] = nil
+	}
+	db.quarRecs = append(db.quarRecs, QuarantineRecord{
+		Device: devClass, ID: id, Partition: pid, Detail: err.Error(),
+	})
+	db.quarMu.Unlock()
+	db.metrics.QuarantineIncidents.Add(1)
+	return true
+}
+
 // RecoverCurrent rebuilds an engine over existing devices from the installed
 // manifest root, falling back to the previous intact manifest if the current
 // one is torn, missing, or references unreadable state. This is the restart
@@ -382,6 +431,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 			for j := len(pmPart.L0SSD) - 1; j >= 0; j-- {
 				t, err := sstable.Open(sd, ssd.FileID(pmPart.L0SSD[j]), db.cache)
 				if err != nil {
+					if db.recoverQuarantine("ssd", pmPart.L0SSD[j], i, err) {
+						continue
+					}
 					return nil, fmt.Errorf("engine: reopen L0 sstable %d: %w", pmPart.L0SSD[j], err)
 				}
 				p.leveled.AddL0(t)
@@ -391,6 +443,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 				for _, f := range files {
 					t, err := sstable.Open(sd, ssd.FileID(f), db.cache)
 					if err != nil {
+						if db.recoverQuarantine("ssd", f, i, err) {
+							continue
+						}
 						return nil, fmt.Errorf("engine: reopen L%d sstable %d: %w", li+1, f, err)
 					}
 					ts = append(ts, t)
@@ -403,6 +458,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 			for _, f := range pmPart.Run {
 				t, err := sstable.Open(sd, ssd.FileID(f), db.cache)
 				if err != nil {
+					if db.recoverQuarantine("ssd", f, i, err) {
+						continue
+					}
 					return nil, fmt.Errorf("engine: reopen run sstable %d: %w", f, err)
 				}
 				runTs = append(runTs, t)
@@ -411,6 +469,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 			for j := len(pmPart.L0SSD) - 1; j >= 0; j-- {
 				t, err := sstable.Open(sd, ssd.FileID(pmPart.L0SSD[j]), db.cache)
 				if err != nil {
+					if db.recoverQuarantine("ssd", pmPart.L0SSD[j], i, err) {
+						continue
+					}
 					return nil, err
 				}
 				p.addL0SSD(t)
@@ -429,6 +490,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 				for _, a := range pmPart.L0Unsorted {
 					t, err := pmtable.Open(pm, pmem.Addr(a))
 					if err != nil {
+						if db.recoverQuarantine("pm", uint64(a), i, err) {
+							continue
+						}
 						return nil, fmt.Errorf("engine: reopen PM table @%d: %w", a, err)
 					}
 					unsorted = append(unsorted, t)
@@ -436,6 +500,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 				for _, a := range pmPart.L0Sorted {
 					t, err := pmtable.Open(pm, pmem.Addr(a))
 					if err != nil {
+						if db.recoverQuarantine("pm", uint64(a), i, err) {
+							continue
+						}
 						return nil, fmt.Errorf("engine: reopen PM table @%d: %w", a, err)
 					}
 					sorted = append(sorted, t)
@@ -446,6 +513,44 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 		p.statsSince.Store(time.Now().UnixNano())
 		db.partitions = append(db.partitions, p)
 	}
+
+	// Re-establish the quarantine registry from the manifest, then publish
+	// the unavailable ranges. SSD corpses are reopened when their metadata
+	// tail is still intact (block-level rot) so repair can salvage their
+	// verifiable blocks; an unopenable corpse stays record-only and repair
+	// retires it without salvage. PM corpses never reopen — the whole-image
+	// checksum that failed at quarantine time cannot pass now. Corpses read
+	// without a cache: quarantined blocks must not pollute it.
+	db.quarMu.Lock()
+	for _, r := range m.Quarantine {
+		if r.Partition < 0 || r.Partition >= len(db.partitions) {
+			continue
+		}
+		switch r.Device {
+		case "ssd":
+			if db.quarSSD == nil {
+				db.quarSSD = make(map[ssd.FileID]*sstable.Table)
+			}
+			var corpse *sstable.Table
+			if t, err := sstable.Open(sd, ssd.FileID(r.ID), nil); err == nil {
+				corpse = t
+			}
+			db.quarSSD[ssd.FileID(r.ID)] = corpse
+		case "pm":
+			if db.quarPM == nil {
+				db.quarPM = make(map[pmem.Addr]*pmtable.Table)
+			}
+			db.quarPM[pmem.Addr(r.ID)] = nil
+		default:
+			continue
+		}
+		db.quarRecs = append(db.quarRecs, r)
+	}
+	for _, p := range db.partitions {
+		db.rebuildQuarLocked(p)
+	}
+	db.metrics.QuarantinedNow.Store(int64(len(db.quarRecs)))
+	db.quarMu.Unlock()
 
 	// Replay the live WALs, oldest first, into the memtables. Entries already
 	// flushed to level-0 are re-applied; versioning makes that harmless (the

@@ -1,0 +1,218 @@
+// Self-healing repair (DESIGN.md §5.8): RepairQuarantined rebuilds every
+// partition that holds quarantined corpses. Salvage iterators walk each
+// openable SSD corpse and yield only the entries whose block CRCs still
+// verify; those entries join a full-partition merge with every live source
+// below the memtables, so sequence-number dedup keeps exactly the newest
+// surviving version of each key regardless of which table held it. PM
+// corpses contribute nothing — their single whole-image checksum cannot
+// vouch for any sub-range once it fails. The rebuilt run installs through
+// the ordinary compaction path and the corpses retire through the deferred
+// obsolete queues, by raw device ID (idempotent), so a crash at any point
+// leaves either the quarantine or the repaired state — never a corrupt
+// table back in the live set.
+
+package engine
+
+import (
+	"fmt"
+
+	"pmblade/internal/compaction"
+	"pmblade/internal/device"
+	"pmblade/internal/kv"
+	"pmblade/internal/pmem"
+	"pmblade/internal/sched"
+	"pmblade/internal/ssd"
+	"pmblade/internal/sstable"
+)
+
+// corpseKey identifies a quarantine record for targeted cleanup.
+type corpseKey struct {
+	device string
+	id     uint64
+}
+
+// RepairQuarantined rebuilds every partition holding quarantined tables and
+// releases their corpses. Keys whose only surviving copy sat in a corrupt
+// block (or in a PM corpse) come back as not-found instead of ErrUnavailable
+// — the loss is acknowledged, not hidden. In RocksDB-emulation mode the
+// record is dropped without a rebuild (no salvage; the leveled hierarchy is
+// a baseline, not a durability target). Callers hold no engine locks.
+func (db *DB) RepairQuarantined() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.repairMu.Lock()
+	defer db.repairMu.Unlock()
+
+	db.quarMu.Lock()
+	recs := append([]QuarantineRecord(nil), db.quarRecs...)
+	corpses := make(map[uint64]*sstable.Table)
+	for id, t := range db.quarSSD {
+		if t != nil {
+			corpses[uint64(id)] = t
+		}
+	}
+	db.quarMu.Unlock()
+	if len(recs) == 0 {
+		return nil
+	}
+
+	byPart := make(map[int][]QuarantineRecord)
+	for _, r := range recs {
+		byPart[r.Partition] = append(byPart[r.Partition], r)
+	}
+	for _, p := range db.partitions {
+		prs := byPart[p.id]
+		if len(prs) == 0 {
+			continue
+		}
+		var salvage []*sstable.Iterator
+		for _, r := range prs {
+			if r.Device == "ssd" {
+				if t := corpses[r.ID]; t != nil {
+					salvage = append(salvage, t.NewSalvageIterator())
+				}
+			}
+		}
+		if p.leveled == nil && len(salvage) > 0 {
+			p.maint.Lock()
+			err := db.repairPartition(p, salvage)
+			p.maint.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		db.finishRepair(p, prs)
+	}
+	db.metrics.RepairPasses.Add(1)
+	// One manifest install drops the quarantine records from the durable
+	// root and frees the retired corpses.
+	return db.installAfterMajor()
+}
+
+// repairPartition merges every live source of p below the memtables with the
+// salvage iterators into a fresh level-1 run. Tombstones are kept: salvage
+// sources are partial, and retaining a deletion marker is always safe.
+// Callers hold p.maint.
+//
+//pmblade:compacts
+func (db *DB) repairPartition(p *partition, salvage []*sstable.Iterator) error {
+	var its []kv.Iterator
+	if p.l0 != nil {
+		unsorted, sorted := p.l0.Tables()
+		for _, t := range unsorted {
+			its = append(its, t.NewIterator())
+		}
+		for _, t := range sorted {
+			its = append(its, t.NewIterator())
+		}
+	}
+	l0ssd := p.l0ssdSnapshot()
+	for _, t := range l0ssd {
+		its = append(its, t.NewCompactionIterator(256<<10))
+	}
+	oldRun := p.run.Tables()
+	for _, t := range oldRun {
+		its = append(its, t.NewCompactionIterator(256<<10))
+	}
+	for _, s := range salvage {
+		its = append(its, s)
+	}
+	for _, it := range its {
+		it.SeekToFirst()
+	}
+
+	// One merge subtask over the full key range: repair is rare enough that
+	// range splitting buys nothing, and a single task keeps the salvage
+	// iterators' skip counters attributable.
+	var newTables []*sstable.Table
+	var rerr error
+	db.pool.Run([]sched.Task{func(ctx *sched.Ctx) {
+		newTables, rerr = compaction.Run(ctx, its, compaction.Params{
+			Dev:              db.ssd,
+			Cause:            device.CauseMajor,
+			DropTombstones:   false,
+			TargetTableBytes: db.cfg.SSTableBytes,
+			BreakOnWrite:     db.cfg.SchedMode != sched.ModePMBlade,
+			Compress:         db.cfg.BlockCompression,
+		})
+	}})
+	if rerr != nil {
+		return fmt.Errorf("engine: repair partition %d: %w", p.id, rerr)
+	}
+	for _, t := range newTables {
+		t.AttachCache(db.cache)
+	}
+	p.run.Replace(oldRun, newTables)
+	for _, t := range oldRun {
+		db.retireSST(t)
+	}
+	p.clearL0SSD(l0ssd)
+	for _, t := range l0ssd {
+		db.retireSST(t)
+	}
+	if p.l0 != nil {
+		p.l0.Evict()
+	}
+	for _, s := range salvage {
+		db.metrics.RepairBlocksSkipped.Add(int64(s.Skipped()))
+	}
+	db.metrics.MajorCount.Add(1)
+	resetPartitionStats(p)
+	return nil
+}
+
+// finishRepair removes the repaired records from the quarantine registry and
+// queues their corpses for retirement. Only the snapshot's records are
+// dropped — a quarantine that landed concurrently (background scrub) stays
+// in place for the next repair pass.
+func (db *DB) finishRepair(p *partition, prs []QuarantineRecord) {
+	if db.cfg.DisableWAL {
+		// No manifest, no deferral: nothing durable references the corpses.
+		for _, r := range prs {
+			switch r.Device {
+			case "ssd":
+				db.ssd.Delete(ssd.FileID(r.ID))
+			case "pm":
+				if db.pm != nil {
+					db.pm.Release(pmem.Addr(r.ID))
+				}
+			}
+		}
+	} else {
+		db.obsoleteMu.Lock()
+		for _, r := range prs {
+			switch r.Device {
+			case "ssd":
+				db.obsoleteRawSSD = append(db.obsoleteRawSSD, ssd.FileID(r.ID))
+			case "pm":
+				db.obsoleteRawPM = append(db.obsoleteRawPM, pmem.Addr(r.ID))
+			}
+		}
+		db.obsoleteMu.Unlock()
+	}
+
+	dead := make(map[corpseKey]bool, len(prs))
+	for _, r := range prs {
+		dead[corpseKey{r.Device, r.ID}] = true
+	}
+	db.quarMu.Lock()
+	keep := db.quarRecs[:0]
+	for _, r := range db.quarRecs {
+		if dead[corpseKey{r.Device, r.ID}] {
+			switch r.Device {
+			case "ssd":
+				delete(db.quarSSD, ssd.FileID(r.ID))
+			case "pm":
+				delete(db.quarPM, pmem.Addr(r.ID))
+			}
+			continue
+		}
+		keep = append(keep, r)
+	}
+	db.quarRecs = keep
+	db.rebuildQuarLocked(p)
+	db.quarMu.Unlock()
+	db.metrics.QuarantinedNow.Add(-int64(len(prs)))
+	db.metrics.RepairTablesRetired.Add(int64(len(prs)))
+}

@@ -69,10 +69,10 @@ type Failure struct {
 
 // Report summarises a torture run.
 type Report struct {
-	Seed   int64
-	Ops    int
-	Points int // size of the crash-point space
-	Tested int
+	Seed     int64
+	Ops      int
+	Points   int // size of the crash-point space
+	Tested   int
 	Failures []Failure
 }
 
@@ -313,6 +313,9 @@ func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device,
 			got, ok, gerr := db.Get(bkeys[i])
 			if gerr != nil {
 				return fmt.Sprintf("Get(%s) failed after recovery: %v", k, gerr)
+			}
+			if res[i].Err != nil {
+				return fmt.Sprintf("MultiGet(%s) reports per-key error %v where Get succeeds", k, res[i].Err)
 			}
 			if res[i].Found != ok || (ok && string(res[i].Value) != string(got)) {
 				return fmt.Sprintf("MultiGet(%s) = (%q, found=%v) disagrees with Get (%q, found=%v)",

@@ -1,0 +1,469 @@
+// Bit-rot soak (DESIGN.md §5.8): the latent-corruption counterpart of the
+// crash torture. A seeded workload builds a multi-tier store, then seeded
+// bit rot is injected into the at-rest images of a subset of the live
+// tables — persistent-memory and SSD alike — and the oracle asserts the
+// full detect → quarantine → restart → repair lifecycle:
+//
+//   - one scrub pass detects every injected corruption (100% coverage);
+//   - after quarantine no read ever returns a wrong value: every acked key
+//     is either exactly correct or fails with ErrUnavailable, and MultiGet
+//     agrees with Get key-for-key (per-key blast radius);
+//   - the quarantine survives a clean restart through the manifest;
+//   - RepairQuarantined drains the registry completely; afterwards every
+//     key reads without error, keys served correctly before repair stay
+//     exactly correct (zero lost acked writes when an intact source of the
+//     range survives), and keys that were unavailable resolve to the newest
+//     acked value, an older acked value (partial salvage), or not-found —
+//     never to a value that was never acknowledged;
+//   - a fresh write lands and a final scrub pass is clean.
+//
+// Everything derives from SoakOptions.Seed: workload, rot placement, and xor
+// masks reproduce bit-for-bit.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmblade/internal/engine"
+	"pmblade/internal/fault"
+	"pmblade/internal/pmem"
+	"pmblade/internal/ssd"
+)
+
+// SoakOptions configures a bit-rot soak run.
+type SoakOptions struct {
+	// Seed drives the workload, the victim selection, and the rot bytes.
+	Seed int64
+	// Ops is the workload length in client operations (default 900).
+	Ops int
+	// Rots is the number of distinct corruptions to inject (default 50).
+	Rots int
+	// CheckpointEvery inserts an engine Checkpoint every N client ops
+	// (default 64).
+	CheckpointEvery int
+	// Log receives progress lines; nil silences.
+	Log func(format string, args ...any)
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Ops == 0 {
+		o.Ops = 900
+	}
+	if o.Rots == 0 {
+		o.Rots = 50
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 64
+	}
+	return o
+}
+
+// SoakReport summarises a bit-rot soak run.
+type SoakReport struct {
+	Seed      int64
+	Ops       int
+	Targets   int // live at-rest images eligible for rot
+	Rotted    int // distinct bytes corrupted
+	RottedPM  int
+	RottedSSD int
+	Incidents int // scrub detections (first pass)
+	// Sweep outcomes over the acked key space.
+	Unavailable int // keys ErrUnavailable under quarantine (pre-repair)
+	Salvaged    int // unavailable keys restored to their newest acked value
+	Reverted    int // unavailable keys resolved to an older acked value
+	Lost        int // unavailable keys resolved to not-found
+	Failures    []string
+}
+
+// String renders the report with the reproduction line for failures.
+func (r *SoakReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scrub-soak: seed=%d ops=%d targets=%d rots=%d (pm=%d ssd=%d) incidents=%d\n",
+		r.Seed, r.Ops, r.Targets, r.Rotted, r.RottedPM, r.RottedSSD, r.Incidents)
+	fmt.Fprintf(&b, "  keys: unavailable=%d salvaged=%d reverted=%d lost=%d failures=%d\n",
+		r.Unavailable, r.Salvaged, r.Reverted, r.Lost, len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAIL: %s\n    reproduce: pmblade-crash -scrub -seed %d -ops %d -rots %d\n",
+			f, r.Seed, r.Ops, r.Rotted)
+	}
+	return b.String()
+}
+
+func (r *SoakReport) failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// rotKey identifies one corrupted byte for dedup: two rots on the same byte
+// would xor it back to its original value.
+type rotKey struct {
+	dev string
+	id  uint64
+	off int64
+}
+
+// soakConfig widens the torture harness configuration into a soak-shaped
+// store: small tables over four partitions so the quiesced image set is
+// dozens of independent at-rest images (a wide rot surface with intact
+// neighbors to route around), not the torture's minimal couple of tables.
+func soakConfig(in *fault.Injector) engine.Config {
+	cfg := harnessConfig(in)
+	cfg.SSTableBytes = 16 << 10
+	// The threshold strategy wipes the WHOLE level-0 once the global PM
+	// table count reaches the trigger; with eight partitions the torture's
+	// trigger of 4 would leave PM empty at every quiesce point. 12 keeps a
+	// standing PM population in the rot surface.
+	cfg.L0TriggerTables = 12
+	cfg.PartitionBoundaries = [][]byte{
+		[]byte("skey-040"), []byte("skey-080"), []byte("skey-120"), []byte("skey-160"),
+		[]byte("skey-200"), []byte("skey-240"), []byte("skey-280"),
+	}
+	return cfg
+}
+
+// soakKeyspace is larger than the torture's: the soak wants breadth (many
+// keys spread over many tables) more than write-write collision density.
+const soakKeyspace = 320
+
+func skey(r *splitmix) string { return fmt.Sprintf("skey-%03d", r.next()%soakKeyspace) }
+
+// spad fattens values so tables fill and split: a wide rot surface needs
+// bytes at rest, not just keys.
+var spad = strings.Repeat(".", 400)
+
+// RunSoak executes one bit-rot soak. Unlike Run, a single pass suffices: rot
+// is injected at rest after the workload quiesces, so no crash-point
+// enumeration is involved and determinism needs only the seed.
+func RunSoak(opts SoakOptions) (*SoakReport, error) {
+	opts = opts.withDefaults()
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &SoakReport{Seed: opts.Seed, Ops: opts.Ops}
+
+	// Phase 1: seeded workload, tracking every acked value per key — the
+	// full history, because partial salvage may legitimately resurface an
+	// older acked version once the newest one's only copy rots away.
+	in := fault.New(opts.Seed)
+	db, err := engine.Open(soakConfig(in))
+	if err != nil {
+		return nil, fmt.Errorf("soak open: %w", err)
+	}
+	vals := make(map[string]*string)         // newest acked value; nil = tombstone
+	hist := make(map[string]map[string]bool) // every value ever acked
+	record := func(k string, v *string) {
+		vals[k] = v
+		if v != nil {
+			if hist[k] == nil {
+				hist[k] = make(map[string]bool)
+			}
+			hist[k][*v] = true
+		}
+	}
+	rng := &splitmix{s: uint64(opts.Seed) ^ 0xC2B2AE3D27D4EB4F}
+	for i := 0; i < opts.Ops; i++ {
+		if opts.CheckpointEvery > 0 && i > 0 && i%opts.CheckpointEvery == 0 {
+			if _, cerr := db.Checkpoint(); cerr != nil {
+				return nil, fmt.Errorf("soak checkpoint at op %d: %w", i, cerr)
+			}
+		}
+		switch r := rng.next() % 10; {
+		case r < 6:
+			k, v := skey(rng), fmt.Sprintf("v%06d.%x.%s", i, rng.next()&0xffff, spad)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				return nil, fmt.Errorf("soak put at op %d: %w", i, err)
+			}
+			record(k, strp(v))
+		case r < 8:
+			k := skey(rng)
+			if err := db.Delete([]byte(k)); err != nil {
+				return nil, fmt.Errorf("soak delete at op %d: %w", i, err)
+			}
+			record(k, nil)
+		default:
+			n := 2 + int(rng.next()%4)
+			var b engine.Batch
+			writes := make(map[string]*string)
+			for j := 0; j < n; j++ {
+				k := skey(rng)
+				if rng.next()%4 == 0 {
+					writes[k] = nil
+					b.Delete([]byte(k))
+				} else {
+					v := fmt.Sprintf("v%06d.%d.%x.%s", i, j, rng.next()&0xffff, spad)
+					writes[k] = strp(v)
+					b.Put([]byte(k), []byte(v))
+				}
+			}
+			if err := db.Apply(&b); err != nil {
+				return nil, fmt.Errorf("soak batch at op %d: %w", i, err)
+			}
+			for k, v := range writes {
+				record(k, v)
+			}
+		}
+	}
+	// Quiesce: everything acked is now at rest in tables (and the manifest),
+	// so the rot surface covers the whole acked key space.
+	if _, err := db.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("soak final checkpoint: %w", err)
+	}
+	// The level-0 trigger compacts every fourth PM table down to SSD, so a
+	// quiesced store may have an empty level-0 — and a flush round can itself
+	// tip the trigger. Flush until PM images are live (bounded; the trigger
+	// fires at most every fourth table, so a couple of rounds suffice).
+	havePMImage := func() bool {
+		for _, t := range db.RotTargets() {
+			if t.Device == "pm" {
+				return true
+			}
+		}
+		return false
+	}
+	for j := 0; j < 6 && !havePMImage(); j++ {
+		for i := 0; i < 6; i++ {
+			k, v := skey(rng), fmt.Sprintf("pmrot%d.%d.%x", j, i, rng.next()&0xffff)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				return nil, fmt.Errorf("soak pm-resident put: %w", err)
+			}
+			record(k, strp(v))
+		}
+		if err := db.FlushAll(); err != nil {
+			return nil, fmt.Errorf("soak pm-resident flush: %w", err)
+		}
+	}
+	if !havePMImage() {
+		return nil, fmt.Errorf("soak: no live PM images after flush rounds (harness bug)")
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Phase 2: inject rot. Every other live image is a victim — the
+	// survivors are what the read path must route to — with both device
+	// classes represented so PM and SSD detection are each exercised.
+	targets := db.RotTargets()
+	rep.Targets = len(targets)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("soak: no live tables to corrupt (harness bug)")
+	}
+	var victims []engine.RotTarget
+	havePM, haveSSD := false, false
+	for i, t := range targets {
+		if i%2 == 0 {
+			victims = append(victims, t)
+			havePM = havePM || t.Device == "pm"
+			haveSSD = haveSSD || t.Device == "ssd"
+		}
+	}
+	for _, t := range targets {
+		if (t.Device == "pm" && !havePM) || (t.Device == "ssd" && !haveSSD) {
+			victims = append(victims, t)
+			havePM = havePM || t.Device == "pm"
+			haveSSD = haveSSD || t.Device == "ssd"
+		}
+	}
+	pm, sd := db.PMDevice(), db.SSDDevice()
+	rotted := make(map[rotKey]bool)
+	rotsByImage := make(map[rotKey][]int64) // (dev,id) -> corrupted offsets
+	for attempts := 0; len(rotted) < opts.Rots; attempts++ {
+		if attempts > opts.Rots*100 {
+			return nil, fmt.Errorf("soak: could not place %d distinct rots in %d attempts", opts.Rots, attempts)
+		}
+		t := victims[attempts%len(victims)]
+		var rk rotKey
+		switch t.Device {
+		case "pm":
+			ev, rerr := pm.Rot(pmem.Addr(t.ID), 0, t.Limit)
+			if rerr != nil {
+				return nil, fmt.Errorf("soak: pm rot: %w", rerr)
+			}
+			rk = rotKey{"pm", uint64(ev.Addr), ev.Off}
+		case "ssd":
+			// Alternate between the whole data region (detection spread) and
+			// the first block only (concentration: real rot clusters, and a
+			// table whose later blocks stay intact exercises partial salvage).
+			window := t.Limit
+			if attempts%2 == 1 && window > 4096 {
+				window = 4096
+			}
+			ev, rerr := sd.Rot(ssd.FileID(t.ID), 0, window)
+			if rerr != nil {
+				return nil, fmt.Errorf("soak: ssd rot: %w", rerr)
+			}
+			rk = rotKey{"ssd", uint64(ev.File), ev.Off}
+		}
+		if rotted[rk] {
+			continue // same byte twice would xor the rot away
+		}
+		rotted[rk] = true
+		rotsByImage[rotKey{rk.dev, rk.id, 0}] = append(rotsByImage[rotKey{rk.dev, rk.id, 0}], rk.off)
+		if rk.dev == "pm" {
+			rep.RottedPM++
+		} else {
+			rep.RottedSSD++
+		}
+	}
+	rep.Rotted = len(rotted)
+	logf("injected %d rots (%d pm, %d ssd) across %d victims of %d targets",
+		rep.Rotted, rep.RottedPM, rep.RottedSSD, len(victims), len(targets))
+
+	// Phase 3: one scrub pass must detect every injected corruption — PM
+	// images by their whole-image checksum, SSD bytes by the covering block.
+	incidents, err := db.ScrubOnce()
+	if err != nil {
+		return nil, fmt.Errorf("soak scrub: %w", err)
+	}
+	rep.Incidents = len(incidents)
+	for rk := range rotted {
+		covered := false
+		for _, inc := range incidents {
+			if inc.Device != rk.dev || inc.ID != rk.id {
+				continue
+			}
+			if rk.dev == "pm" || (rk.off >= inc.Offset && rk.off < inc.Offset+inc.Length) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			rep.failf("scrub missed rot at %s image %d offset %d", rk.dev, rk.id, rk.off)
+		}
+	}
+	quarantined := make(map[rotKey]bool)
+	for _, r := range db.QuarantineRecords() {
+		quarantined[rotKey{r.Device, r.ID, 0}] = true
+	}
+	for img := range rotsByImage {
+		if !quarantined[img] {
+			rep.failf("rotted %s image %d was detected but not quarantined", img.dev, img.id)
+		}
+	}
+	logf("scrub: %d incidents, %d images quarantined", len(incidents), len(quarantined))
+
+	// Phase 4: sweep under quarantine. Every acked key is exactly correct or
+	// ErrUnavailable — never a stale value, never a silent not-found for a
+	// live key — and MultiGet mirrors Get per key (blast radius).
+	unavailable := make(map[string]bool)
+	sweep := func(e *engine.DB, phase string, check func(k string, got []byte, ok bool, err error)) error {
+		bkeys := make([][]byte, len(keys))
+		for i, k := range keys {
+			bkeys[i] = []byte(k)
+		}
+		res, merr := e.MultiGet(bkeys)
+		if merr != nil {
+			return fmt.Errorf("%s MultiGet: %w", phase, merr)
+		}
+		for i, k := range keys {
+			got, ok, gerr := e.Get(bkeys[i])
+			check(k, got, ok, gerr)
+			r := res[i]
+			if (r.Err != nil) != (gerr != nil) || (gerr != nil && !errors.Is(r.Err, gerr)) ||
+				r.Found != ok || (ok && string(r.Value) != string(got)) {
+				rep.failf("%s: MultiGet(%s) = (%q, found=%v, err=%v) disagrees with Get (%q, found=%v, err=%v)",
+					phase, k, r.Value, r.Found, r.Err, got, ok, gerr)
+			}
+		}
+		return nil
+	}
+	err = sweep(db, "pre-repair", func(k string, got []byte, ok bool, gerr error) {
+		if errors.Is(gerr, engine.ErrUnavailable) {
+			unavailable[k] = true
+			return
+		}
+		if gerr != nil {
+			rep.failf("pre-repair Get(%s): unexpected error %v", k, gerr)
+			return
+		}
+		want := vals[k]
+		switch {
+		case want == nil && ok:
+			rep.failf("pre-repair Get(%s): tombstone resurrected as %q", k, got)
+		case want != nil && !ok:
+			rep.failf("pre-repair Get(%s): acked write silently lost (want %q)", k, *want)
+		case want != nil && string(got) != *want:
+			rep.failf("pre-repair Get(%s) = %q: stale value served past quarantine (want %q)", k, got, *want)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Unavailable = len(unavailable)
+	logf("pre-repair sweep: %d/%d keys unavailable", len(unavailable), len(keys))
+
+	// Phase 5: clean restart. The quarantine must come back from the
+	// manifest — a corrupt table must never be resurrected into the live set.
+	before := len(db.QuarantineRecords())
+	if err := db.Close(); err != nil {
+		return nil, fmt.Errorf("soak close: %w", err)
+	}
+	re, err := engine.RecoverCurrent(soakConfig(nil), pm, sd)
+	if err != nil {
+		return nil, fmt.Errorf("soak recovery with quarantine present: %w", err)
+	}
+	defer func() { _ = re.Close() }()
+	if after := len(re.QuarantineRecords()); after != before {
+		rep.failf("restart kept %d of %d quarantine records", after, before)
+	}
+
+	// Phase 6: repair must drain the registry and restore full readability.
+	if err := re.RepairQuarantined(); err != nil {
+		return nil, fmt.Errorf("soak repair: %w", err)
+	}
+	if left := re.QuarantineRecords(); len(left) != 0 {
+		rep.failf("repair left %d quarantine records behind", len(left))
+	}
+	err = sweep(re, "post-repair", func(k string, got []byte, ok bool, gerr error) {
+		if gerr != nil {
+			rep.failf("post-repair Get(%s): %v (repair must restore readability)", k, gerr)
+			return
+		}
+		want := vals[k]
+		newest := (want == nil && !ok) || (want != nil && ok && string(got) == *want)
+		if !unavailable[k] {
+			// An intact source of this key's range survived the rot: the key
+			// was served correctly under quarantine and repair must not
+			// regress it — zero lost acked writes.
+			if !newest {
+				rep.failf("post-repair Get(%s) = (%q, found=%v): repair regressed a key an intact source held (want %v)",
+					k, got, ok, vals[k])
+			}
+			return
+		}
+		switch {
+		case newest:
+			rep.Salvaged++
+		case !ok:
+			rep.Lost++ // the only copy of the newest version rotted: loss acknowledged
+		case hist[k][string(got)]:
+			rep.Reverted++ // partial salvage resurfaced an older acked version
+		default:
+			rep.failf("post-repair Get(%s) = %q: value was never acknowledged", k, got)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	logf("post-repair sweep: salvaged=%d reverted=%d lost=%d", rep.Salvaged, rep.Reverted, rep.Lost)
+
+	// Phase 7: the repaired engine accepts writes and a final scrub is clean.
+	probeK, probeV := []byte("probe-after-repair"), []byte("alive")
+	if perr := re.Put(probeK, probeV); perr != nil {
+		rep.failf("repaired engine rejects writes: %v", perr)
+	} else if got, ok, gerr := re.Get(probeK); gerr != nil || !ok || string(got) != string(probeV) {
+		rep.failf("repaired engine cannot read back a fresh write (ok=%v err=%v)", ok, gerr)
+	}
+	final, err := re.ScrubOnce()
+	if err != nil {
+		return nil, fmt.Errorf("soak final scrub: %w", err)
+	}
+	if len(final) != 0 {
+		rep.failf("final scrub found %d incidents on the repaired store (first: %+v)", len(final), final[0])
+	}
+	return rep, nil
+}

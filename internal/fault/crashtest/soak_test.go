@@ -1,0 +1,39 @@
+package crashtest
+
+import "testing"
+
+// TestScrubSoak runs one seeded bit-rot soak per `go test` invocation — the
+// acceptance gate for the latent-corruption lifecycle (ISSUE 8): 50+ distinct
+// rots across PM and SSD images, 100% scrub detection, no wrong value under
+// quarantine, quarantine across restart, full readability after repair.
+func TestScrubSoak(t *testing.T) {
+	rep, err := RunSoak(SoakOptions{Seed: 1, Rots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatal(rep.String())
+	}
+	if rep.Rotted < 50 {
+		t.Fatalf("expected >=50 distinct rots, placed %d", rep.Rotted)
+	}
+	if rep.RottedPM == 0 || rep.RottedSSD == 0 {
+		t.Fatalf("both device classes must rot: pm=%d ssd=%d", rep.RottedPM, rep.RottedSSD)
+	}
+}
+
+// TestScrubSoakSeeds covers additional seeds; skipped under -short.
+func TestScrubSoakSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed soak skipped in -short mode")
+	}
+	for _, seed := range []int64{7, 42, 1234} {
+		rep, err := RunSoak(SoakOptions{Seed: seed, Rots: 60})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if len(rep.Failures) > 0 {
+			t.Errorf("seed=%d:\n%s", seed, rep.String())
+		}
+	}
+}

@@ -43,6 +43,8 @@ const (
 	PMWrite     Point = "pmem.writeat"
 	PMFlush     Point = "pmem.flush"
 	PMRelease   Point = "pmem.release" // deferred free of a superseded region
+	SSDRot      Point = "ssd.rot"      // at-rest bit rot injected into a file image
+	PMRot       Point = "pmem.rot"     // at-rest bit rot injected into the arena
 )
 
 // Op describes one intercepted device operation.
@@ -117,15 +119,15 @@ type Injector struct {
 	seed int64
 
 	mu      sync.Mutex
-	rng     uint64         // splitmix64 state; guarded by: mu
-	total   int            // ops observed; guarded by: mu
-	perHit  map[Point]int  // per-point hit counts; guarded by: mu
-	ruleHit map[*Rule]int  // per-rule match counts; guarded by: mu
-	rules   []*Rule        // guarded by: mu
-	cutAt   int            // global op index to cut at (1-based); 0 disarmed
-	cutRule *Rule          // point-scoped power-cut arming
-	dead    bool           // power has been cut
-	onCut   func()         // invoked once, with mu held, when the cut fires
+	rng     uint64        // splitmix64 state; guarded by: mu
+	total   int           // ops observed; guarded by: mu
+	perHit  map[Point]int // per-point hit counts; guarded by: mu
+	ruleHit map[*Rule]int // per-rule match counts; guarded by: mu
+	rules   []*Rule       // guarded by: mu
+	cutAt   int           // global op index to cut at (1-based); 0 disarmed
+	cutRule *Rule         // point-scoped power-cut arming
+	dead    bool          // power has been cut
+	onCut   func()        // invoked once, with mu held, when the cut fires
 }
 
 // New creates an injector with the given seed. The same seed and the same
@@ -291,6 +293,23 @@ func (in *Injector) Hook(o Op) Decision {
 		return r.Decision
 	}
 	return Decision{}
+}
+
+// RotByte picks the target of one at-rest bit-rot event inside an n-byte
+// window: a seeded byte offset and a non-zero xor mask. The devices call it
+// from their Rot failpoints so that which byte rots, and how, derives from
+// the injector seed alone — a soak run reproduces bit-for-bit.
+func (in *Injector) RotByte(n int64) (off int64, mask byte) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n > 0 {
+		off = int64(in.next() % uint64(n))
+	}
+	mask = byte(in.next())
+	if mask == 0 {
+		mask = 0x80
+	}
+	return off, mask
 }
 
 // KeepBytes is the seeded crash-image policy for one torn region: given the

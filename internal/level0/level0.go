@@ -69,6 +69,28 @@ func (l *Level0) AddUnsorted(t *pmtable.Table) {
 	l.unsorted = append([]*pmtable.Table{t}, l.unsorted...)
 }
 
+// Remove detaches one table from the level without retiring it: the caller
+// takes ownership of the (possibly corrupt) table object and its PM region.
+// Quarantine uses it to pull a rotted table out of the read path while
+// keeping the corpse alive for inspection. Reports whether t was present.
+func (l *Level0) Remove(t *pmtable.Table) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, u := range l.unsorted {
+		if u == t {
+			l.unsorted = append(l.unsorted[:i], l.unsorted[i+1:]...)
+			return true
+		}
+	}
+	for i, s := range l.sorted {
+		if s == t {
+			l.sorted = append(l.sorted[:i], l.sorted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // UnsortedCount reports n_i for the cost model.
 func (l *Level0) UnsortedCount() int {
 	l.mu.RLock()

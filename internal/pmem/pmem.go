@@ -196,6 +196,41 @@ func (d *Device) Release(addr Addr) {
 	}
 }
 
+// RotEvent records one injected at-rest corruption: the byte at Off within
+// the region at Addr was xor-ed with Mask.
+type RotEvent struct {
+	Addr Addr
+	Off  int64
+	Mask byte
+}
+
+// Rot is the latent-corruption (bit-rot) failpoint: it flips one seeded byte
+// of the region at addr, inside the window [off, off+n). Which byte, and the
+// xor mask, come from the injector's seeded stream. The arena bytes mutate
+// in place — the corruption is silent until something re-checks the image
+// checksum (pmtable.Verify, the scrubber, or a re-open).
+func (d *Device) Rot(addr Addr, off, n int64) (RotEvent, error) {
+	if dec := d.hook(fault.PMRot, device.CauseUnknown, int(n)); dec.Err != nil {
+		return RotEvent{}, dec.Err
+	}
+	if d.fault == nil {
+		return RotEvent{}, errors.New("pmem: Rot requires a fault.Injector")
+	}
+	delta, mask := d.fault.RotByte(n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size, ok := d.regions[addr]
+	if !ok {
+		return RotEvent{}, fmt.Errorf("pmem: rot target %d is not a live region", addr)
+	}
+	at := off + delta
+	if at < 0 || at >= size {
+		return RotEvent{}, fmt.Errorf("pmem: rot offset %d outside region %d (%d bytes)", at, addr, size)
+	}
+	d.arena[int64(addr)+at] ^= mask
+	return RotEvent{Addr: addr, Off: at, Mask: mask}, nil
+}
+
 func (d *Device) chargeRead(n int) {
 	p := d.profile
 	lat := p.ReadLatency

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strings"
 
 	"pmblade/internal/bloom"
 	"pmblade/internal/device"
@@ -80,6 +81,69 @@ const (
 
 // ErrCorrupt reports a malformed table image.
 var ErrCorrupt = errors.New("pmtable: corrupt table")
+
+// CorruptionError is an ErrCorrupt with a location: which PM region and
+// what failed. PM tables are protected by one whole-image checksum, so
+// unlike SSD tables there is no finer-than-table attribution — Off is
+// always 0 and Len the image size. errors.Is(err, ErrCorrupt) holds
+// through Unwrap.
+type CorruptionError struct {
+	Addr   pmem.Addr
+	Len    int64
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%v: region %d (%d bytes): %s", ErrCorrupt, e.Addr, e.Len, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// Verify re-checks the whole-image checksum of the table at addr without
+// decoding anything — the scrub primitive for the PM tier. It returns a
+// *CorruptionError on mismatch and nil when the image is intact.
+func Verify(dev *pmem.Device, addr pmem.Addr) error {
+	size := dev.Size(addr)
+	if size < 0 {
+		return fmt.Errorf("pmtable: unknown region %d", addr)
+	}
+	if size < encodedHeaderSize+4 {
+		return &CorruptionError{Addr: addr, Len: size, Detail: "image too small"}
+	}
+	img, err := dev.View(addr, 0, size-4, device.CauseScrub)
+	if err != nil {
+		return err
+	}
+	crcBytes, err := dev.View(addr, size-4, 4, device.CauseScrub)
+	if err != nil {
+		return err
+	}
+	if crc32.Checksum(img, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+		return &CorruptionError{Addr: addr, Len: size, Detail: "image checksum"}
+	}
+	return nil
+}
+
+// Verify re-checks this table's at-rest image checksum (see Verify).
+func (t *Table) Verify() error { return Verify(t.dev, t.addr) }
+
+// wrapCorrupt attaches the region location to a bare ErrCorrupt; other
+// errors, and errors already located, pass through unchanged.
+func wrapCorrupt(addr pmem.Addr, size int64, err error) error {
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	var ce *CorruptionError
+	if errors.As(err, &ce) {
+		return err
+	}
+	detail := strings.TrimPrefix(err.Error(), ErrCorrupt.Error())
+	detail = strings.TrimPrefix(detail, ": ")
+	if detail == "" {
+		detail = "image structure"
+	}
+	return &CorruptionError{Addr: addr, Len: size, Detail: detail}
+}
 
 // Table is an immutable PM-resident sorted (or flush-ordered) table.
 type Table struct {
@@ -276,7 +340,7 @@ func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 		return nil, fmt.Errorf("pmtable: unknown region %d", addr)
 	}
 	if size < encodedHeaderSize+4 {
-		return nil, ErrCorrupt
+		return nil, &CorruptionError{Addr: addr, Len: size, Detail: "image too small"}
 	}
 	img, err := dev.View(addr, 0, size-4, device.CauseClientRead)
 	if err != nil {
@@ -287,11 +351,11 @@ func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 		return nil, err
 	}
 	if crc32.Checksum(img, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
-		return nil, fmt.Errorf("%w: image checksum", ErrCorrupt)
+		return nil, &CorruptionError{Addr: addr, Len: size, Detail: "image checksum"}
 	}
 	h, err := decodeHeader(img[:encodedHeaderSize])
 	if err != nil {
-		return nil, err
+		return nil, wrapCorrupt(addr, size, err)
 	}
 	t := &Table{
 		dev:    dev,
@@ -303,7 +367,7 @@ func Open(dev *pmem.Device, addr pmem.Addr) (*Table, error) {
 	tail := int64(h.smallLen) + int64(h.largeLen) + int64(h.filterLen)
 	bodyLen := size - 4 - int64(encodedHeaderSize) - tail
 	if bodyLen < 0 {
-		return nil, ErrCorrupt
+		return nil, &CorruptionError{Addr: addr, Len: size, Detail: "inconsistent trailer lengths"}
 	}
 	trailer, err := dev.View(addr, encodedHeaderSize+bodyLen, tail, device.CauseClientRead)
 	if err != nil {

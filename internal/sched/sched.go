@@ -206,6 +206,35 @@ func (p *Pool) admissionWait() {
 	}
 }
 
+// maxScrubDeferral bounds how long the scrub gate may hold back a verify
+// read. The scrubber is the lowest-priority I/O client — it yields to both
+// compaction and foreground traffic — but a continuously busy device must
+// not stall it forever or latent rot would never be found.
+const maxScrubDeferral = 20 * time.Millisecond
+
+// ScrubGate blocks while the device is busy with higher-priority work
+// (compaction I/O in flight, or foreground queue depth at the device), so
+// background scrub reads only ever use idle device bandwidth. Like
+// admissionWait it polls at a coarse granularity and gives up after a
+// starvation bound rather than waiting for a perfectly idle device.
+func (p *Pool) ScrubGate() {
+	deadline := time.Now().Add(maxScrubDeferral)
+	for {
+		qComp := int(p.qComp.Load())
+		depth := 0
+		if p.dev != nil {
+			depth = p.dev.QueueDepth()
+		}
+		if depth < qComp {
+			depth = qComp
+		}
+		if depth == 0 || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
 // Submit schedules t on a background maintenance worker — the engine uses
 // this for asynchronous memtable flushes (the paper's dedicated flush
 // coroutine, decoupled from the foreground write path). Workers start lazily

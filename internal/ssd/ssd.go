@@ -193,6 +193,42 @@ func (d *Device) Delete(id FileID) {
 	d.mu.Unlock()
 }
 
+// RotEvent records one injected at-rest corruption: the byte at Off of file
+// File was xor-ed with Mask.
+type RotEvent struct {
+	File FileID
+	Off  int64
+	Mask byte
+}
+
+// Rot is the latent-corruption (bit-rot) failpoint: it flips one seeded byte
+// of the at-rest image of file id, inside the window [off, off+n). The byte
+// and the xor mask come from the injector's seeded stream, so a soak run
+// reproduces bit-for-bit. Rot mutates the stored bytes directly — durable
+// and volatile views alike — which is the point: the corruption is silent
+// until a read or a scrub checks the covering checksum.
+func (d *Device) Rot(id FileID, off, n int64) (RotEvent, error) {
+	if dec := d.hook(fault.SSDRot, device.CauseUnknown, id, int(n)); dec.Err != nil {
+		return RotEvent{}, dec.Err
+	}
+	if d.fault == nil {
+		return RotEvent{}, errors.New("ssd: Rot requires a fault.Injector")
+	}
+	delta, mask := d.fault.RotByte(n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[id]
+	if !ok {
+		return RotEvent{}, ErrNotFound
+	}
+	at := off + delta
+	if at < 0 || at >= int64(len(f.data)) {
+		return RotEvent{}, fmt.Errorf("ssd: rot offset %d outside file %d (%d bytes)", at, id, len(f.data))
+	}
+	f.data[at] ^= mask
+	return RotEvent{File: id, Off: at, Mask: mask}, nil
+}
+
 // SetRoot atomically installs a named root pointer — the simulated rename of
 // a CURRENT file onto the manifest. The update is durable the moment it
 // returns (journaled rename); a power cut at this failpoint leaves the

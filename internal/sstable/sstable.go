@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +27,42 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports a malformed table.
 var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// CorruptionError is an ErrCorrupt with a location: which file, which byte
+// range, and what failed. Reads and scrubs return it so corruption reports
+// are actionable (quarantine needs the file; repair needs the block) —
+// errors.Is(err, ErrCorrupt) still holds through Unwrap.
+type CorruptionError struct {
+	File   ssd.FileID
+	Off    int64  // byte offset of the failing block or structure
+	Len    int64  // length of the failing region (0 when unknown)
+	Detail string // what check failed, e.g. "block crc"
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%v: file %d @%d+%d: %s", ErrCorrupt, e.File, e.Off, e.Len, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// corruptAt wraps a bare ErrCorrupt from a block decode with the block's
+// location. Errors that are not corruption (device I/O) and errors already
+// carrying a location pass through unchanged.
+func corruptAt(file ssd.FileID, h blockHandle, err error) error {
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	var ce *CorruptionError
+	if errors.As(err, &ce) {
+		return err
+	}
+	detail := strings.TrimPrefix(err.Error(), ErrCorrupt.Error())
+	detail = strings.TrimPrefix(detail, ": ")
+	if detail == "" {
+		detail = "block structure"
+	}
+	return &CorruptionError{File: file, Off: h.off, Len: h.len, Detail: detail}
+}
 
 const (
 	// BlockSize is the target uncompressed size of a data block.
@@ -335,14 +372,14 @@ func (t *Table) Unref() {
 func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
 	size := dev.Size(file)
 	if size < footerSize {
-		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+		return nil, &CorruptionError{File: file, Off: 0, Len: size, Detail: fmt.Sprintf("file too small (%d bytes)", size)}
 	}
 	footer := make([]byte, footerSize)
 	if err := dev.ReadAt(file, size-footerSize, footer, device.CauseClientRead); err != nil {
 		return nil, err
 	}
 	if binary.LittleEndian.Uint32(footer[48:]) != tableMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: size - footerSize, Len: footerSize, Detail: "bad magic"}
 	}
 	idxOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
 	idxLen := int64(binary.LittleEndian.Uint64(footer[8:16]))
@@ -352,7 +389,7 @@ func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
 	pLen := int64(binary.LittleEndian.Uint64(footer[40:48]))
 	if idxOff < 0 || idxLen < 0 || fOff < 0 || fLen < 0 || pOff < 0 || pLen < 0 ||
 		idxOff+idxLen > size || fOff+fLen > size || pOff+pLen > size {
-		return nil, fmt.Errorf("%w: bad footer", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: size - footerSize, Len: footerSize, Detail: "bad footer"}
 	}
 
 	idxRaw := make([]byte, idxLen)
@@ -364,18 +401,18 @@ func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
 	for len(idxRaw) > 0 {
 		kl, n := binary.Uvarint(idxRaw)
 		if n <= 0 || n+int(kl) > len(idxRaw) {
-			return nil, fmt.Errorf("%w: index entry", ErrCorrupt)
+			return nil, &CorruptionError{File: file, Off: idxOff, Len: idxLen, Detail: "index entry"}
 		}
 		ik := idxRaw[n : n+int(kl)]
 		idxRaw = idxRaw[n+int(kl):]
 		off, n := binary.Uvarint(idxRaw)
 		if n <= 0 {
-			return nil, fmt.Errorf("%w: index handle", ErrCorrupt)
+			return nil, &CorruptionError{File: file, Off: idxOff, Len: idxLen, Detail: "index handle"}
 		}
 		idxRaw = idxRaw[n:]
 		blen, n := binary.Uvarint(idxRaw)
 		if n <= 0 {
-			return nil, fmt.Errorf("%w: index handle len", ErrCorrupt)
+			return nil, &CorruptionError{File: file, Off: idxOff, Len: idxLen, Detail: "index handle len"}
 		}
 		idxRaw = idxRaw[n:]
 		t.index = append(t.index, indexEntry{
@@ -384,7 +421,7 @@ func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
 		})
 	}
 	if len(t.index) == 0 {
-		return nil, fmt.Errorf("%w: empty index", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: idxOff, Len: idxLen, Detail: "empty index"}
 	}
 
 	fRaw := make([]byte, fLen)
@@ -399,19 +436,19 @@ func Open(dev *ssd.Device, file ssd.FileID, cache *BlockCache) (*Table, error) {
 		return nil, err
 	}
 	if len(pRaw) < 8 {
-		return nil, fmt.Errorf("%w: properties", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: pOff, Len: pLen, Detail: "properties"}
 	}
 	t.count = int(binary.LittleEndian.Uint64(pRaw))
 	rest := pRaw[8:]
 	sl, n := binary.Uvarint(rest)
 	if n <= 0 || n+int(sl) > len(rest) {
-		return nil, fmt.Errorf("%w: properties smallest", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: pOff, Len: pLen, Detail: "properties smallest"}
 	}
 	t.smallest = append([]byte(nil), rest[n:n+int(sl)]...)
 	rest = rest[n+int(sl):]
 	ll, n := binary.Uvarint(rest)
 	if n <= 0 || n+int(ll) > len(rest) {
-		return nil, fmt.Errorf("%w: properties largest", ErrCorrupt)
+		return nil, &CorruptionError{File: file, Off: pOff, Len: pLen, Detail: "properties largest"}
 	}
 	t.largest = append([]byte(nil), rest[n:n+int(ll)]...)
 	return t, nil
@@ -435,6 +472,60 @@ func (t *Table) SizeBytes() int64 { return t.size }
 // Delete releases the owner reference; the file disappears once concurrent
 // readers have drained.
 func (t *Table) Delete() { t.Unref() }
+
+// DataBytes reports the length of the data-block region — the prefix of the
+// file covered by per-block CRCs. The index/filter/properties tail after it
+// is integrity-checked structurally at Open, not by checksum.
+func (t *Table) DataBytes() int64 {
+	last := t.index[len(t.index)-1].handle
+	return last.off + last.len
+}
+
+// MayContain reports whether key can possibly be present in this table:
+// fence bounds first, then the Bloom filter. False means definitely absent —
+// the read path uses it to decide whether a miss could have been served by a
+// quarantined table.
+func (t *Table) MayContain(key []byte) bool {
+	if bytes.Compare(key, t.smallest) < 0 || bytes.Compare(key, t.largest) > 0 {
+		return false
+	}
+	return t.filter == nil || t.filter.MayContain(key)
+}
+
+// VerifyBlocks is the scrub primitive: it re-reads every data block straight
+// from the device — never consulting or filling the block cache, so a stale
+// cached copy cannot mask on-media rot and a one-pass integrity walk does not
+// evict the working set — and re-checks each block's CRC. It returns one
+// CorruptionError per failing block (all of them, not just the first, so a
+// multi-rot table attributes every incident). budget, when non-nil, is
+// called with each device read's byte count so callers can rate-limit.
+// The error result is reserved for device I/O failures.
+func (t *Table) VerifyBlocks(cause device.Cause, budget func(n int64)) ([]*CorruptionError, error) {
+	var bad []*CorruptionError
+	var raw []byte
+	for _, ie := range t.index {
+		h := ie.handle
+		if int64(cap(raw)) < h.len {
+			raw = make([]byte, h.len)
+		}
+		buf := raw[:h.len]
+		if err := t.dev.ReadAt(t.file, h.off, buf, cause); err != nil {
+			return bad, err
+		}
+		if budget != nil {
+			budget(h.len)
+		}
+		if h.len < 5 {
+			bad = append(bad, &CorruptionError{File: t.file, Off: h.off, Len: h.len, Detail: "block too short"})
+			continue
+		}
+		body, crcBytes := buf[:h.len-4], buf[h.len-4:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(crcBytes) {
+			bad = append(bad, &CorruptionError{File: t.file, Off: h.off, Len: h.len, Detail: "block crc"})
+		}
+	}
+	return bad, nil
+}
 
 // decodeRawBlock verifies and unwraps one on-device block image
 // (flag | payload | crc) into its logical body, decompressing if needed.
@@ -469,7 +560,7 @@ func (t *Table) readBlock(h blockHandle, cause device.Cause) ([]byte, error) {
 	}
 	body, err := decodeRawBlock(raw)
 	if err != nil {
-		return nil, err
+		return nil, corruptAt(t.file, h, err)
 	}
 	if t.cache != nil {
 		t.cache.put(t.file, h.off, body)
@@ -555,7 +646,7 @@ func (t *Table) Get(key []byte, seq uint64) (kv.Entry, bool, error) {
 		}
 		e, status, err := findInBlock(body, key, seq, s)
 		if err != nil {
-			return kv.Entry{}, false, err
+			return kv.Entry{}, false, corruptAt(t.file, t.index[bi].handle, err)
 		}
 		switch status {
 		case foundHit:
@@ -628,7 +719,7 @@ func (t *Table) GetBatch(keys [][]byte, seq uint64, out []kv.Entry, found []bool
 		for _, p := range pending {
 			e, status, ferr := findInBlock(bodies[p.bi], keys[p.idx], seq, s)
 			if ferr != nil {
-				return coalesced, ferr
+				return coalesced, corruptAt(t.file, t.index[p.bi].handle, ferr)
 			}
 			switch status {
 			case foundHit:
@@ -687,7 +778,7 @@ func (t *Table) readBlockSpans(probes []batchProbe) (map[int][]byte, int, error)
 			h := t.index[bi].handle
 			body, err := decodeRawBlock(raw[h.off-start : h.off-start+h.len])
 			if err != nil {
-				return nil, saved, err
+				return nil, saved, corruptAt(t.file, h, err)
 			}
 			bodies[bi] = body
 			if t.cache != nil {
@@ -829,6 +920,9 @@ type Iterator struct {
 	raFirst   int
 	raLast    int
 	raOff     int64
+
+	salvage bool // skip (and count) corrupt blocks instead of erroring
+	skipped int  // corrupt blocks skipped in salvage mode
 }
 
 // NewIterator returns an iterator; call SeekToFirst or SeekGE first.
@@ -843,6 +937,19 @@ func (t *Table) NewCompactionIterator(readaheadBytes int) *Iterator {
 	}
 	return &Iterator{t: t, bi: -1, raFirst: -1, readahead: readaheadBytes}
 }
+
+// NewSalvageIterator returns a compaction-style iterator (sequential
+// readahead, cache-bypassing) that yields the entries of every block whose
+// CRC still verifies and silently skips blocks that fail to decode, counting
+// them in Skipped. Repair uses it to recover what is recoverable from a
+// quarantined table: only checksum-verified blocks contribute, so salvage
+// can never resurrect rotted bytes as live data.
+func (t *Table) NewSalvageIterator() *Iterator {
+	return &Iterator{t: t, bi: -1, raFirst: -1, readahead: 256 << 10, salvage: true}
+}
+
+// Skipped reports the number of corrupt blocks a salvage iterator dropped.
+func (it *Iterator) Skipped() int { return it.skipped }
 
 // ScanReadahead is the per-table readahead window of client range scans:
 // large enough to amortize device latency over ~16 blocks, small enough not
@@ -914,44 +1021,51 @@ func (it *Iterator) rawBlock(bi int) ([]byte, error) {
 }
 
 func (it *Iterator) loadBlock(bi int) bool {
-	var body []byte
-	var err error
-	switch {
-	case it.fillCache:
-		h := it.t.index[bi].handle
-		if cached, ok := it.t.cache.get(it.t.file, h.off); ok {
-			body = cached
-		} else {
+	for ; bi < len(it.t.index); bi++ {
+		var body []byte
+		var err error
+		switch {
+		case it.fillCache:
+			h := it.t.index[bi].handle
+			if cached, ok := it.t.cache.get(it.t.file, h.off); ok {
+				body = cached
+			} else {
+				var raw []byte
+				raw, err = it.rawBlock(bi)
+				if err == nil {
+					body, err = decodeRawBlock(raw)
+					if err == nil {
+						it.t.cache.put(it.t.file, h.off, body)
+					}
+				}
+			}
+		case it.readahead > 0:
 			var raw []byte
 			raw, err = it.rawBlock(bi)
 			if err == nil {
 				body, err = decodeRawBlock(raw)
-				if err == nil {
-					it.t.cache.put(it.t.file, h.off, body)
-				}
 			}
+		default:
+			body, err = it.t.readBlock(it.t.index[bi].handle, device.CauseClientRead)
 		}
-	case it.readahead > 0:
-		var raw []byte
-		raw, err = it.rawBlock(bi)
 		if err == nil {
-			body, err = decodeRawBlock(raw)
+			it.entries, err = decodeBlockEntries(body, it.entries[:0])
 		}
-	default:
-		body, err = it.t.readBlock(it.t.index[bi].handle, device.CauseClientRead)
+		if err != nil {
+			// Salvage mode drops corrupt blocks (counting them) and keeps
+			// going; device I/O errors always stop the iterator.
+			if it.salvage && errors.Is(err, ErrCorrupt) {
+				it.skipped++
+				continue
+			}
+			it.err = corruptAt(it.t.file, it.t.index[bi].handle, err)
+			return false
+		}
+		it.bi = bi
+		it.ei = 0
+		return true
 	}
-	if err != nil {
-		it.err = err
-		return false
-	}
-	it.entries, err = decodeBlockEntries(body, it.entries[:0])
-	if err != nil {
-		it.err = err
-		return false
-	}
-	it.bi = bi
-	it.ei = 0
-	return true
+	return false // ran off the end (salvage skipped the tail)
 }
 
 // SeekToFirst implements kv.Iterator.
