@@ -332,6 +332,51 @@ func BenchmarkEngineMultiGet(b *testing.B) {
 			b.Fatal("short result")
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+}
+
+// BenchmarkEngineScan10 measures short range scans against SSD-resident data:
+// the regime where per-scan setup (seek, view anchor search or heap build)
+// dominates over per-entry cost.
+func BenchmarkEngineScan10(b *testing.B) {
+	const n = 20000
+	db := ssdResidentDB(b, n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(n - 20)
+		if _, err := db.Scan([]byte(fmt.Sprintf("key-%06d", lo)), nil, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineIteratorSeekNext opens an iterator at a random key and
+// streams 100 entries — the pull-based counterpart of Scan100, exercising the
+// partition-hop and prefetch machinery.
+func BenchmarkEngineIteratorSeekNext(b *testing.B) {
+	const n = 20000
+	db := ssdResidentDB(b, n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(n - 200)
+		it, err := db.NewIterator([]byte(fmt.Sprintf("key-%06d", lo)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		for ; it.Valid() && got < 100; it.Next() {
+			got++
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		it.Close()
+		if got != 100 {
+			b.Fatalf("iterator yielded %d entries", got)
+		}
+	}
 }
 
 func BenchmarkEngineScan100(b *testing.B) {

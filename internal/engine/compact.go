@@ -224,6 +224,7 @@ func (db *DB) internalCompact(p *partition) error {
 		return err
 	}
 	db.metrics.InternalCount.Add(1)
+	db.invalidateView(p, true)
 	resetPartitionStats(p)
 	return nil
 }
@@ -367,6 +368,7 @@ func (db *DB) majorCompactPartition(p *partition) error {
 		db.retireSST(t)
 	}
 	p.l0.Evict()
+	db.invalidateView(p, true)
 	db.metrics.MajorCount.Add(1)
 	resetPartitionStats(p)
 	return nil
@@ -419,6 +421,7 @@ func (db *DB) majorCompactSSDPartition(p *partition) error {
 	for _, t := range retired {
 		db.retireSST(t)
 	}
+	db.invalidateView(p, true)
 	db.metrics.MajorCount.Add(1)
 	resetPartitionStats(p)
 	return nil
@@ -612,6 +615,7 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 	for _, t := range all {
 		db.retireSST(t)
 	}
+	db.invalidateView(p, true)
 	db.metrics.MajorCount.Add(1)
 	return nil
 }

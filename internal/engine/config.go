@@ -111,6 +111,12 @@ type Config struct {
 	// the default of 8 MiB/s. Negative disables the limit (tests).
 	ScrubBytesPerSec int64
 
+	// DisableRangeIndex turns off the per-partition REMIX-style sorted view
+	// (internal/rangeindex) and makes every scan use the plain merging
+	// iterator. The zero value keeps the index enabled — it is an
+	// optimization layered over the merge, never a correctness dependency.
+	DisableRangeIndex bool
+
 	// FaultInjector, when set, is attached to both devices at Open/Recover
 	// (faultkit). nil disables fault injection.
 	FaultInjector *fault.Injector

@@ -15,6 +15,7 @@ import (
 	"pmblade/internal/memtable"
 	"pmblade/internal/pmem"
 	"pmblade/internal/pmtable"
+	"pmblade/internal/rangeindex"
 	"pmblade/internal/sched"
 	"pmblade/internal/ssd"
 	"pmblade/internal/sstable"
@@ -179,6 +180,21 @@ type partition struct {
 	// path: nil when nothing is quarantined, so the common case costs one
 	// atomic load on a miss. Rebuilt under DB.quarMu.
 	quar atomic.Pointer[[]quarSource]
+
+	// view is the REMIX-style sorted view over this partition's stable
+	// sorted sources (rangeview.go); nil until the first scan builds one.
+	// viewGen is the install epoch: every mutation of the stable sorted
+	// set bumps it, and a view whose epoch differs is never served.
+	view    atomic.Pointer[rangeindex.View]
+	viewGen atomic.Uint64
+	// viewBuilding single-flights view construction so concurrent scans do
+	// not duplicate the O(n) build.
+	viewBuilding atomic.Bool
+	// viewBackoff, when positive, suppresses scan-triggered rebuilds for
+	// that many scans — set after a build was discarded because the epoch
+	// moved mid-build, so heavy write churn cannot make every scan pay a
+	// doomed O(n) build.
+	viewBackoff atomic.Int32
 }
 
 // noteKeyWrite records a write in the update detector, reporting whether the
@@ -324,6 +340,7 @@ func (db *DB) Close() error {
 	}
 	db.drainFlushes()
 	db.pool.CloseBackground()
+	db.dropViews()
 	if db.wal != nil {
 		db.wal.Close()
 	}

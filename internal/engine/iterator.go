@@ -23,6 +23,7 @@ type Iterator struct {
 	cur      ScanResult
 	valid    bool
 	closed   bool
+	err      error
 	firstKey []byte
 }
 
@@ -37,15 +38,26 @@ type iterPrefetch struct {
 }
 
 // NewIterator opens an iterator over [start, end); nil bounds are unbounded.
+// Like Scan, it fails with ErrUnavailable when any intersecting partition
+// has a quarantined table overlapping the range: a streaming merge cannot
+// route around a corpse with Bloom precision, so serving results that the
+// quarantined data may shadow would be lying.
 func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	parts := db.partitionsInRange(start, end)
+	for _, p := range parts {
+		if p.quarOverlaps(start, end) {
+			db.metrics.UnavailableReads.Add(1)
+			return nil, ErrUnavailable
+		}
 	}
 	it := &Iterator{
 		db:       db,
 		seq:      db.seq.Load(),
 		end:      append([]byte(nil), end...),
-		parts:    db.partitionsInRange(start, end),
+		parts:    parts,
 		firstKey: append([]byte(nil), start...),
 	}
 	if end == nil {
@@ -53,10 +65,17 @@ func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
 	}
 	it.openPartition(0, start)
 	it.advance()
+	if it.err != nil {
+		it.Close()
+		return nil, it.err
+	}
 	return it, nil
 }
 
 // openPartition switches to partition index pi, seeking its sources to from.
+// The quarantine guard is re-applied at every hop: a quarantine that lands
+// mid-iteration must stop the stream (Err reports ErrUnavailable) rather
+// than silently serve results the corpse may shadow.
 func (it *Iterator) openPartition(pi int, from []byte) {
 	if it.release != nil {
 		it.release()
@@ -67,6 +86,11 @@ func (it *Iterator) openPartition(pi int, from []byte) {
 	if pi >= len(it.parts) {
 		return
 	}
+	if it.parts[pi].quarOverlaps(it.firstKey, it.end) {
+		it.db.metrics.UnavailableReads.Add(1)
+		it.err = ErrUnavailable
+		return
+	}
 	if from == nil {
 		if merged, release, ok := it.takePrefetch(pi); ok {
 			it.merged, it.release = merged, release
@@ -74,7 +98,7 @@ func (it *Iterator) openPartition(pi int, from []byte) {
 			return
 		}
 	}
-	its, release := it.db.partitionIterators(it.parts[pi])
+	its, release := it.db.partitionSources(it.parts[pi])
 	for _, src := range its {
 		if from != nil {
 			src.SeekGE(from)
@@ -100,7 +124,7 @@ func (it *Iterator) startPrefetch(pi int) {
 	p, db := it.parts[pi], it.db
 	go func() {
 		defer close(pf.done)
-		its, release := db.partitionIterators(p)
+		its, release := db.partitionSources(p)
 		for _, src := range its {
 			src.SeekToFirst()
 		}
@@ -130,7 +154,7 @@ func (it *Iterator) takePrefetch(pi int) (*kv.DedupIterator, func(), bool) {
 // advance moves to the next live visible entry, crossing partitions.
 func (it *Iterator) advance() {
 	for {
-		if it.merged == nil {
+		if it.err != nil || it.merged == nil {
 			it.valid = false
 			return
 		}
@@ -159,6 +183,11 @@ func (it *Iterator) advance() {
 
 // Valid reports whether the iterator is positioned at an entry.
 func (it *Iterator) Valid() bool { return it.valid && !it.closed }
+
+// Err reports why iteration stopped early: ErrUnavailable when a hop landed
+// on a partition whose range is shadowed by a quarantined table. nil on
+// normal exhaustion.
+func (it *Iterator) Err() error { return it.err }
 
 // Key returns the current key; valid until Next.
 func (it *Iterator) Key() []byte { return it.cur.Key }

@@ -112,6 +112,21 @@ type Metrics struct {
 	QuarantinedNow      atomic.Int64
 	UnavailableReads    atomic.Int64
 
+	// RangeViewHits counts scans (and iterator opens) served through a
+	// current range-index view; RangeViewFallbacks counts those that went
+	// through the plain merging-iterator path instead (no current view,
+	// build suppressed, or a mid-scan view/source mismatch).
+	// RangeViewBuilds / RangeViewBuildNanos count view constructions and
+	// their cumulative wall time; RangeViewSegments / RangeViewBytes
+	// accumulate the anchor-segment count and memory footprint of built
+	// views (cumulative over builds, not a live gauge).
+	RangeViewHits       atomic.Int64
+	RangeViewFallbacks  atomic.Int64
+	RangeViewBuilds     atomic.Int64
+	RangeViewBuildNanos atomic.Int64
+	RangeViewSegments   atomic.Int64
+	RangeViewBytes      atomic.Int64
+
 	// RepairPasses counts RepairQuarantined partition rebuilds;
 	// RepairBlocksSkipped counts corrupt blocks salvage had to skip (the data
 	// that was actually lost); RepairTablesRetired counts corpses retired.

@@ -168,10 +168,24 @@ func (db *DB) multiGetPartition(p *partition, keys [][]byte, idxs []int, seq uin
 			}
 		}
 	} else {
-		coalesced, err := p.run.GetBatch(subKeys, seq, subEntries, subFound)
-		db.metrics.MultiGetCoalescedReads.Add(int64(coalesced))
-		if err != nil {
-			return err
+		// When a range-index view is current, the remaining keys resolve
+		// through shared forward-only view cursors: sorted keys landing in the
+		// same segment reuse positioned cursors and loaded blocks, coalescing
+		// across tables. No view is built here — MultiGet is a point-read
+		// path and must not pay an O(partition) construction. Anything the
+		// view could serve beyond the run was already settled in stage 2
+		// (tier attribution below is therefore still TierSSD).
+		viewDone := false
+		if v := db.acquireView(p, false); v != nil {
+			viewDone = viewGetBatch(v, subKeys, seq, subEntries, subFound)
+			v.Unref()
+		}
+		if !viewDone {
+			coalesced, err := p.run.GetBatch(subKeys, seq, subEntries, subFound)
+			db.metrics.MultiGetCoalescedReads.Add(int64(coalesced))
+			if err != nil {
+				return err
+			}
 		}
 		markNew(TierSSD)
 	}

@@ -168,6 +168,10 @@ func (db *DB) quarantineSST(p *partition, t *sstable.Table, detail string) bool 
 		return false
 	}
 	db.detachSST(p, t)
+	// Invalidate without rebuilding: quarantine runs on the read path, and a
+	// stale view could still follow cursors into the detached corpse. The
+	// next scan rebuilds over the surviving sources.
+	db.invalidateView(p, false)
 	if db.cache != nil {
 		db.cache.DropFile(t.File())
 	}
@@ -215,6 +219,7 @@ func (db *DB) quarantinePM(p *partition, t *pmtable.Table, detail string) bool {
 	if p.l0 == nil || !p.l0.Remove(t) {
 		return false
 	}
+	db.invalidateView(p, false)
 	db.registerPMCorpse(p, t, detail)
 	db.metrics.QuarantineIncidents.Add(1)
 	db.metrics.QuarantinedNow.Add(1)

@@ -1,0 +1,480 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pmblade/internal/fault"
+)
+
+// scanAll is a full-range unlimited scan.
+func scanAll(t *testing.T, db *DB) []ScanResult {
+	t.Helper()
+	res, err := db.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameResults compares two scan result sets entry for entry.
+func sameResults(t *testing.T, label string, got, want []ScanResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("%s: entry %d: got %s=%s, want %s=%s",
+				label, i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+		}
+	}
+}
+
+// TestScanViewEquivalence pins the view scan path to the plain merge across
+// every engine mode, including overwrites, deletes, and data split between
+// the mutable overlay and the stable sources.
+func TestScanViewEquivalence(t *testing.T) {
+	for name, cfg := range allModeConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			const n = 2000
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("key-%05d", i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("v1-%05d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			// More flush rounds so leveled mode crosses its L0 trigger, then
+			// major-compact: every mode then has stable sorted sources (an
+			// empty stable set makes scans fall back to the plain merge by
+			// design, which would starve this test of view hits).
+			for j := 0; j < 4; j++ {
+				k := fmt.Sprintf("key-%05d", n+j)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("v1-%05d", n+j))); err != nil {
+					t.Fatal(err)
+				}
+				if err := db.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.MajorCompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			// Overwrites and deletes that stay in the overlay (memtable /
+			// unsorted L0) so the 2-way merge sees both sides.
+			for i := 0; i < n; i += 7 {
+				k := fmt.Sprintf("key-%05d", i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("v2-%05d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 3; i < n; i += 11 {
+				if err := db.Delete([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			ranges := []struct {
+				start, end string
+				limit      int
+			}{
+				{"", "", 0},
+				{"", "", 137},
+				{"key-00500", "key-01500", 0},
+				{"key-00500", "key-01500", 100},
+				{"key-00000", "key-00001", 0},
+				{"key-01999", "", 0},
+				{"zzz", "", 0},
+			}
+			for _, r := range ranges {
+				var start, end []byte
+				if r.start != "" {
+					start = []byte(r.start)
+				}
+				if r.end != "" {
+					end = []byte(r.end)
+				}
+				got, err := db.Scan(start, end, r.limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Reference: the plain merge path, forced by disabling the
+				// index on the same DB (config is copied at Open, so flip the
+				// field the read path consults).
+				db.cfg.DisableRangeIndex = true
+				want, err := db.Scan(start, end, r.limit)
+				db.cfg.DisableRangeIndex = false
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("%s scan [%q,%q) limit %d", name, r.start, r.end, r.limit), got, want)
+			}
+			if db.Metrics().RangeViewHits.Load() == 0 {
+				t.Fatal("no scan was served through the range-index view")
+			}
+			if db.Metrics().RangeViewBuilds.Load() == 0 {
+				t.Fatal("no view was ever built")
+			}
+		})
+	}
+}
+
+// TestScanViewInvalidationOnCompaction: a compaction install must bump the
+// epoch so scans never serve the pre-compaction view, and the install-point
+// rebuild must leave a fresh view in place.
+func TestScanViewInvalidationOnCompaction(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	want := make(map[string]string)
+	for i := 0; i < 1500; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v := fmt.Sprintf("v1-%05d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	res := scanAll(t, db)
+	if len(res) != len(want) {
+		t.Fatalf("pre-compaction scan: %d results, want %d", len(res), len(want))
+	}
+	builds := db.Metrics().RangeViewBuilds.Load()
+	if builds == 0 {
+		t.Fatal("first scan built no view")
+	}
+	// Overwrite, then force a full install cycle.
+	for i := 0; i < 1500; i += 3 {
+		k := fmt.Sprintf("key-%05d", i)
+		v := fmt.Sprintf("v2-%05d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MajorCompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().RangeViewBuilds.Load() <= builds {
+		t.Fatal("compaction install did not rebuild the view")
+	}
+	res = scanAll(t, db)
+	if len(res) != len(want) {
+		t.Fatalf("post-compaction scan: %d results, want %d", len(res), len(want))
+	}
+	for _, r := range res {
+		if want[string(r.Key)] != string(r.Value) {
+			t.Fatalf("post-compaction scan: %s = %s, want %s", r.Key, r.Value, want[string(r.Key)])
+		}
+	}
+}
+
+// TestIteratorQuarantineGuard is the satellite bugfix regression: a
+// quarantined overlapping table must make NewIterator fail with
+// ErrUnavailable exactly when Scan does, instead of silently streaming
+// results the corpse may shadow.
+func TestIteratorQuarantineGuard(t *testing.T) {
+	db, err := Open(scrubConfig(fault.New(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fillSSD(t, db, 400)
+	if rotEverySST(t, db) == 0 {
+		t.Fatal("no SSD tables to rot")
+	}
+	if _, err := db.ScrubOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.QuarantineRecords()) == 0 {
+		t.Fatal("scrub quarantined nothing")
+	}
+
+	_, scanErr := db.Scan([]byte("key-0000"), []byte("key-0399"), 0)
+	if !errors.Is(scanErr, ErrUnavailable) {
+		t.Fatalf("Scan over quarantined range: err = %v, want ErrUnavailable", scanErr)
+	}
+	it, iterErr := db.NewIterator([]byte("key-0000"), []byte("key-0399"))
+	if !errors.Is(iterErr, ErrUnavailable) {
+		if it != nil {
+			it.Close()
+		}
+		t.Fatalf("NewIterator over quarantined range: err = %v, want ErrUnavailable (Scan said %v)", iterErr, scanErr)
+	}
+
+	// A disjoint range above the quarantined keys behaves identically on
+	// both paths too: fresh writes land above the corpses and are served.
+	if err := db.Put([]byte("zz-live"), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scan([]byte("zz"), nil, 0)
+	if err != nil {
+		t.Fatalf("Scan over clean range: %v", err)
+	}
+	it2, err := db.NewIterator([]byte("zz"), nil)
+	if err != nil {
+		t.Fatalf("NewIterator over clean range: %v (Scan succeeded)", err)
+	}
+	defer it2.Close()
+	var iterGot []ScanResult
+	for ; it2.Valid(); it2.Next() {
+		iterGot = append(iterGot, ScanResult{
+			Key:   append([]byte(nil), it2.Key()...),
+			Value: append([]byte(nil), it2.Value()...),
+		})
+	}
+	if it2.Err() != nil {
+		t.Fatalf("clean-range iterator: %v", it2.Err())
+	}
+	sameResults(t, "clean range scan vs iterator", iterGot, got)
+}
+
+// TestIteratorQuarantineMidIteration: a quarantine landing between
+// cross-partition hops stops the stream with ErrUnavailable instead of
+// serving shadowed results from the partition quarantined mid-flight.
+func TestIteratorQuarantineMidIteration(t *testing.T) {
+	cfg := scrubConfig(fault.New(44))
+	cfg.PartitionBoundaries = [][]byte{[]byte("key-0200")}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fillSSD(t, db, 400)
+
+	it, err := db.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Valid() {
+		t.Fatal("iterator empty")
+	}
+	// Quarantine every SSD table while the iterator is inside partition 0.
+	if rotEverySST(t, db) == 0 {
+		t.Fatal("no SSD tables to rot")
+	}
+	if _, err := db.ScrubOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.QuarantineRecords()) == 0 {
+		t.Fatal("scrub quarantined nothing")
+	}
+	for it.Valid() {
+		it.Next()
+	}
+	if !errors.Is(it.Err(), ErrUnavailable) {
+		t.Fatalf("iterator crossed into a quarantined partition: Err = %v, want ErrUnavailable", it.Err())
+	}
+}
+
+// TestTakePrefetchStaleRelease pins the stale-prefetch path: a prefetch
+// targeting a different partition than the one being opened must be drained,
+// released, and discarded.
+func TestTakePrefetchStaleRelease(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PartitionBoundaries = [][]byte{[]byte("key-0200")}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fillSSD(t, db, 400)
+
+	it := &Iterator{db: db, seq: db.seq.Load(), parts: db.partitions}
+	it.startPrefetch(1)
+	if it.prefetch == nil {
+		t.Fatal("prefetch did not start")
+	}
+	merged, release, ok := it.takePrefetch(0) // wrong partition: stale
+	if ok || merged != nil || release != nil {
+		t.Fatal("stale prefetch was handed out")
+	}
+	if it.prefetch != nil {
+		t.Fatal("stale prefetch not cleared")
+	}
+	// The matching case still works.
+	it.startPrefetch(1)
+	merged, release, ok = it.takePrefetch(1)
+	if !ok || merged == nil {
+		t.Fatal("matching prefetch rejected")
+	}
+	if release != nil {
+		release()
+	}
+}
+
+// TestScanLimitTruncationMultiPartition: the parallel fan-out scan with a
+// limit must return exactly the serial scan's prefix.
+func TestScanLimitTruncationMultiPartition(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PartitionBoundaries = [][]byte{[]byte("key-00500"), []byte("key-01000"), []byte("key-01500")}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	full := scanAll(t, db)
+	if len(full) != 2000 {
+		t.Fatalf("full scan: %d results", len(full))
+	}
+	for _, limit := range []int{1, 499, 500, 501, 1250, 1999, 2000, 5000} {
+		got, err := db.Scan(nil, nil, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full
+		if limit < len(full) {
+			want = full[:limit]
+		}
+		sameResults(t, fmt.Sprintf("limit %d", limit), got, want)
+	}
+}
+
+// TestScanDuringViewInstall scans concurrently with flushes and compactions
+// installing new view epochs; run under -race this pins the epoch handoff,
+// and in any mode each scanned value must be one the writer actually wrote.
+func TestScanDuringViewInstall(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 800
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte("gen-00")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := fmt.Sprintf("gen-%02d", gen)
+			for i := 0; i < n; i += 5 {
+				if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(v)); err != nil {
+					return
+				}
+			}
+			if err := db.FlushAll(); err != nil {
+				return
+			}
+			if gen%2 == 0 {
+				if err := db.CompactNow(); err != nil {
+					return
+				}
+			}
+			gen++
+		}
+	}()
+
+	for round := 0; round < 40; round++ {
+		res, err := db.Scan([]byte("key-00100"), []byte("key-00700"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatal("concurrent scan lost the whole range")
+		}
+		var prev []byte
+		for _, r := range res {
+			if prev != nil && bytes.Compare(prev, r.Key) >= 0 {
+				t.Fatalf("scan out of order: %s then %s", prev, r.Key)
+			}
+			prev = r.Key
+			if !bytes.HasPrefix(r.Value, []byte("gen-")) {
+				t.Fatalf("scan returned torn value %q for %s", r.Value, r.Key)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMultiGetViewPath: after a scan installs a view, MultiGet's stage-3
+// lookups ride shared view cursors; results must equal per-key Gets.
+func TestMultiGetViewPath(t *testing.T) {
+	db, err := Open(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("val-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MajorCompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	scanAll(t, db) // installs the view
+
+	var keys [][]byte
+	for i := 0; i < n; i += 13 {
+		keys = append(keys, []byte(fmt.Sprintf("key-%05d", i)))
+	}
+	keys = append(keys, []byte("missing-key"), []byte("key-00001"))
+	res, err := db.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, err := db.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Err != nil {
+			t.Fatalf("MultiGet(%s): %v", k, res[i].Err)
+		}
+		if res[i].Found != ok {
+			t.Fatalf("MultiGet(%s): found=%v, Get found=%v", k, res[i].Found, ok)
+		}
+		if ok && !bytes.Equal(res[i].Value, v) {
+			t.Fatalf("MultiGet(%s) = %s, Get = %s", k, res[i].Value, v)
+		}
+	}
+}

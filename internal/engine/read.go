@@ -162,14 +162,39 @@ func (db *DB) Scan(start, end []byte, limit int) ([]ScanResult, error) {
 }
 
 // scanPartition appends partition p's visible entries in [start, end) to out,
-// stopping once out holds limit entries (limit 0 = unbounded).
+// stopping once out holds limit entries (limit 0 = unbounded). When a
+// range-index view is current (or can be built) the stable sources stream
+// through its selector walk; otherwise — and whenever the view proves
+// inconsistent mid-scan — the plain merging-iterator path below serves the
+// range unchanged.
 func (db *DB) scanPartition(p *partition, start, end []byte, limit int, seq uint64, out []ScanResult) []ScanResult {
 	if limit > 0 && len(out) >= limit {
 		return out
 	}
+	if v := db.acquireView(p, true); v != nil {
+		if v.Len() == 0 {
+			// No stable sources yet: the view would only add merge plumbing on
+			// top of the overlay merge below. Serve through the plain path.
+			v.Unref()
+		} else {
+			res, ok := db.scanViewPartition(p, v, start, end, limit, seq, out)
+			v.Unref()
+			if ok {
+				db.metrics.RangeViewHits.Add(1)
+				p.reads.Add(1)
+				return res
+			}
+		}
+	}
+	db.metrics.RangeViewFallbacks.Add(1)
 	its, release := db.partitionIterators(p)
 	defer release()
 	for _, it := range its {
+		if limit > 0 {
+			if h, ok := it.(interface{ HintEntries(int) }); ok {
+				h.HintEntries(limit + 32)
+			}
+		}
 		if start != nil {
 			it.SeekGE(start)
 		} else {

@@ -157,6 +157,7 @@ func (db *DB) repairPartition(p *partition, salvage []*sstable.Iterator) error {
 	for _, s := range salvage {
 		db.metrics.RepairBlocksSkipped.Add(int64(s.Skipped()))
 	}
+	db.invalidateView(p, true)
 	db.metrics.MajorCount.Add(1)
 	resetPartitionStats(p)
 	return nil

@@ -324,6 +324,18 @@ func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device,
 		}
 	}
 
+	// A full-range scan and a full-range iterator walk must both agree
+	// key-for-key with Gets on the recovered store. Scans trigger a
+	// range-index view build over the freshly recovered tables, so this
+	// tortures view reconstruction against every crash image; the iterator
+	// additionally exercises the per-partition hop path. In-flight keys are
+	// judged leniently (either world), matching the Get checks above. Runs
+	// before the probe write so the expected key set is exactly the
+	// workload's.
+	if desc := verifyScans(db, or, pending); desc != "" {
+		return desc
+	}
+
 	// The recovered engine must accept and serve new writes.
 	probeK, probeV := []byte("probe-after-recovery"), []byte("alive")
 	if perr := db.Put(probeK, probeV); perr != nil {
@@ -332,6 +344,83 @@ func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device,
 	got, ok, gerr := db.Get(probeK)
 	if gerr != nil || !ok || string(got) != string(probeV) {
 		return fmt.Sprintf("recovered engine cannot read back a fresh write (ok=%v err=%v)", ok, gerr)
+	}
+	return ""
+}
+
+// verifyScans checks that a full-range Scan and a full-range Iterator walk
+// over the recovered store each return exactly the keys Get serves, in sorted
+// order, with identical values. It returns the first violation, or "".
+func verifyScans(db *engine.DB, or *oracle, pending *pendingOp) string {
+	// The universe of keys that can possibly be live: everything the
+	// workload ever acknowledged plus the in-flight op's keys.
+	universe := make(map[string]bool, len(or.ever))
+	for k := range or.ever {
+		universe[k] = true
+	}
+	if pending != nil {
+		for k := range pending.writes {
+			universe[k] = true
+		}
+	}
+
+	// Expected live set per Get — Gets were already validated against the
+	// oracle above, so scan-vs-Get agreement is the invariant here.
+	expect := make(map[string]string)
+	for k := range universe {
+		got, ok, gerr := db.Get([]byte(k))
+		if gerr != nil {
+			return fmt.Sprintf("Get(%s) failed during scan verification: %v", k, gerr)
+		}
+		if ok {
+			expect[k] = string(got)
+		}
+	}
+
+	res, serr := db.Scan(nil, nil, 0)
+	if serr != nil {
+		return fmt.Sprintf("full-range Scan failed after recovery: %v", serr)
+	}
+	if len(res) != len(expect) {
+		return fmt.Sprintf("full-range Scan returned %d keys, Gets serve %d", len(res), len(expect))
+	}
+	prev := ""
+	for i, r := range res {
+		k := string(r.Key)
+		if i > 0 && k <= prev {
+			return fmt.Sprintf("Scan order violation: %q after %q", k, prev)
+		}
+		prev = k
+		want, ok := expect[k]
+		if !ok {
+			return fmt.Sprintf("Scan returned key %s that Get does not serve", k)
+		}
+		if string(r.Value) != want {
+			return fmt.Sprintf("Scan(%s) = %q disagrees with Get %q", k, r.Value, want)
+		}
+	}
+
+	it, ierr := db.NewIterator(nil, nil)
+	if ierr != nil {
+		return fmt.Sprintf("NewIterator failed after recovery: %v", ierr)
+	}
+	defer it.Close()
+	n := 0
+	for ; it.Valid(); it.Next() {
+		if n >= len(res) {
+			return fmt.Sprintf("Iterator yields extra key %q beyond Scan's %d", it.Key(), len(res))
+		}
+		if string(it.Key()) != string(res[n].Key) || string(it.Value()) != string(res[n].Value) {
+			return fmt.Sprintf("Iterator entry %d = (%q,%q) disagrees with Scan (%q,%q)",
+				n, it.Key(), it.Value(), res[n].Key, res[n].Value)
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Sprintf("Iterator failed after recovery: %v", err)
+	}
+	if n != len(res) {
+		return fmt.Sprintf("Iterator yielded %d keys, Scan %d", n, len(res))
 	}
 	return ""
 }

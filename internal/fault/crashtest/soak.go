@@ -133,6 +133,69 @@ func skey(r *splitmix) string { return fmt.Sprintf("skey-%03d", r.next()%soakKey
 // bytes at rest, not just keys.
 var spad = strings.Repeat(".", 400)
 
+// soakScanCheck sweeps range reads across the partition grid (one range per
+// partition of soakConfig). Scan and NewIterator must agree on every range:
+// identical entries when the range is readable, ErrUnavailable from both when
+// quarantine overlaps it (quarantineOK) — and every scanned value must match
+// Get. With quarantine present this exercises the iterator's open-time
+// quarantine guard; on a repaired store (quarantineOK=false) any range error
+// is a failure. Returns how many ranges were unavailable.
+func soakScanCheck(e *engine.DB, rep *SoakReport, phase string, quarantineOK bool) int {
+	bounds := soakConfig(nil).PartitionBoundaries
+	starts := append([][]byte{nil}, bounds...)
+	unavailable := 0
+	for i, start := range starts {
+		var end []byte
+		if i < len(bounds) {
+			end = bounds[i]
+		}
+		sres, serr := e.Scan(start, end, 0)
+		it, ierr := e.NewIterator(start, end)
+		if serr != nil || ierr != nil {
+			if ierr == nil {
+				it.Close()
+			}
+			if !quarantineOK {
+				rep.failf("%s: range [%q,%q) unreadable (scan err=%v, iterator err=%v)", phase, start, end, serr, ierr)
+				continue
+			}
+			if (serr == nil) != (ierr == nil) || (serr != nil && !errors.Is(serr, engine.ErrUnavailable)) ||
+				(ierr != nil && !errors.Is(ierr, engine.ErrUnavailable)) {
+				rep.failf("%s: Scan and NewIterator disagree on quarantined range [%q,%q): scan err=%v, iterator err=%v",
+					phase, start, end, serr, ierr)
+				continue
+			}
+			unavailable++
+			continue
+		}
+		n := 0
+		mismatch := false
+		for ; it.Valid(); it.Next() {
+			if n < len(sres) && (string(it.Key()) != string(sres[n].Key) || string(it.Value()) != string(sres[n].Value)) {
+				rep.failf("%s: iterator entry %d (%q) disagrees with Scan (%q) in range [%q,%q)",
+					phase, n, it.Key(), sres[n].Key, start, end)
+				mismatch = true
+				break
+			}
+			n++
+		}
+		if werr := it.Err(); werr != nil {
+			rep.failf("%s: iterator failed mid-range [%q,%q): %v", phase, start, end, werr)
+		} else if !mismatch && n != len(sres) {
+			rep.failf("%s: iterator yielded %d entries, Scan %d, in range [%q,%q)", phase, n, len(sres), start, end)
+		}
+		it.Close()
+		for _, r := range sres {
+			got, ok, gerr := e.Get(r.Key)
+			if gerr != nil || !ok || string(got) != string(r.Value) {
+				rep.failf("%s: Scan(%s) = %q disagrees with Get (%q, found=%v, err=%v)",
+					phase, r.Key, r.Value, got, ok, gerr)
+			}
+		}
+	}
+	return unavailable
+}
+
 // RunSoak executes one bit-rot soak. Unlike Run, a single pass suffices: rot
 // is injected at rest after the workload quiesces, so no crash-point
 // enumeration is involved and determinism needs only the seed.
@@ -394,7 +457,14 @@ func RunSoak(opts SoakOptions) (*SoakReport, error) {
 		return nil, err
 	}
 	rep.Unavailable = len(unavailable)
-	logf("pre-repair sweep: %d/%d keys unavailable", len(unavailable), len(keys))
+	// Range reads under quarantine: a key that Get refuses must also make the
+	// covering range refuse — if every range scan succeeded while keys are
+	// unavailable, the scan/iterator quarantine guard has a hole.
+	unavailRanges := soakScanCheck(db, rep, "pre-repair", true)
+	if len(unavailable) > 0 && unavailRanges == 0 {
+		rep.failf("pre-repair: %d keys unavailable but every range scan succeeded (quarantine guard hole)", len(unavailable))
+	}
+	logf("pre-repair sweep: %d/%d keys unavailable, %d ranges unavailable", len(unavailable), len(keys), unavailRanges)
 
 	// Phase 5: clean restart. The quarantine must come back from the
 	// manifest — a corrupt table must never be resurrected into the live set.
@@ -449,6 +519,9 @@ func RunSoak(opts SoakOptions) (*SoakReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Repair reinstalls views: every range must now read cleanly and agree
+	// between Scan, the iterator, and Gets.
+	soakScanCheck(re, rep, "post-repair", false)
 	logf("post-repair sweep: salvaged=%d reverted=%d lost=%d", rep.Salvaged, rep.Reverted, rep.Lost)
 
 	// Phase 7: the repaired engine accepts writes and a final scrub is clean.

@@ -129,6 +129,25 @@ type Iterator interface {
 	SeekToFirst()
 }
 
+// PosEOF is the PosIterator position of an exhausted iterator.
+const PosEOF = ^uint64(0)
+
+// PosIterator is an Iterator whose position can be captured as an opaque
+// token and later restored in O(1) seeks (no key comparisons). Tokens are
+// only meaningful for the same immutable underlying source: Pos taken from
+// one iterator may be passed to SetPos on another iterator over the same
+// table(s). Tokens over a given source are monotonically increasing in
+// iteration order.
+type PosIterator interface {
+	Iterator
+	// Pos returns the token of the current position, or PosEOF when the
+	// iterator is exhausted.
+	Pos() uint64
+	// SetPos restores a position previously returned by Pos. Passing PosEOF
+	// leaves the iterator exhausted.
+	SetPos(pos uint64)
+}
+
 // SliceIterator iterates over an in-memory, already-sorted slice of entries.
 type SliceIterator struct {
 	entries []Entry

@@ -16,6 +16,7 @@ type ConcatIterator struct {
 	ti     int
 	cur    *sstable.Iterator
 	scan   bool // open per-table scan iterators (readahead + cache fill)
+	hint   int  // entry-count readahead hint forwarded to opened iterators
 }
 
 // NewConcatIterator wraps tables, which must be sorted by range and
@@ -33,10 +34,25 @@ func NewConcatScanIterator(tables []*sstable.Table) *ConcatIterator {
 
 // open returns a fresh iterator over tables[ti] in the configured mode.
 func (it *ConcatIterator) open(ti int) *sstable.Iterator {
+	var cur *sstable.Iterator
 	if it.scan {
-		return it.tables[ti].NewScanIterator()
+		cur = it.tables[ti].NewScanIterator()
+	} else {
+		cur = it.tables[ti].NewIterator()
 	}
-	return it.tables[ti].NewIterator()
+	if it.hint > 0 {
+		cur.HintEntries(it.hint)
+	}
+	return cur
+}
+
+// HintEntries caps the next readahead span of the current and subsequently
+// opened table iterators to roughly n entries (see sstable HintEntries).
+func (it *ConcatIterator) HintEntries(n int) {
+	it.hint = n
+	if it.cur != nil {
+		it.cur.HintEntries(n)
+	}
 }
 
 // Valid implements kv.Iterator.
@@ -69,6 +85,38 @@ func (it *ConcatIterator) SeekToFirst() {
 		it.cur = it.open(it.ti)
 		it.cur.SeekToFirst()
 	}
+}
+
+// posTableShift packs the table index above the inner iterator's
+// (block, entry) token: 44 bits of inner position, 20 bits of table index.
+const posTableShift = 44
+
+// Pos implements kv.PosIterator: (table index, inner sstable position).
+func (it *ConcatIterator) Pos() uint64 {
+	if !it.Valid() {
+		return kv.PosEOF
+	}
+	return uint64(it.ti)<<posTableShift | it.cur.Pos()
+}
+
+// SetPos implements kv.PosIterator, restoring a token captured from any
+// ConcatIterator over the same table sequence.
+func (it *ConcatIterator) SetPos(pos uint64) {
+	if pos == kv.PosEOF {
+		it.cur = nil
+		return
+	}
+	ti := int(pos >> posTableShift)
+	inner := pos & (1<<posTableShift - 1)
+	if ti >= len(it.tables) {
+		it.cur = nil
+		return
+	}
+	if it.ti != ti || it.cur == nil {
+		it.ti = ti
+		it.cur = it.open(ti)
+	}
+	it.cur.SetPos(inner)
 }
 
 // SeekGE implements kv.Iterator: locate the first table whose largest key is

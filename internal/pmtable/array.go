@@ -322,6 +322,59 @@ func (it *arrayIterator) Valid() bool     { return it.ok }
 func (it *arrayIterator) Next()           { it.advance() }
 func (it *arrayIterator) Entry() kv.Entry { return it.cur }
 
+// posSlotShift packs a slot index above the in-slot entry index in Pos
+// tokens; slots hold far fewer than 2^20 entries.
+const posSlotShift = 20
+
+// Pos implements kv.PosIterator: (slot, entry-within-slot).
+func (it *arrayIterator) Pos() uint64 {
+	if !it.ok {
+		return kv.PosEOF
+	}
+	return uint64(it.slot)<<posSlotShift | uint64(it.pi-1)
+}
+
+// SetPos implements kv.PosIterator, restoring a token captured from any
+// iterator over the same table.
+func (it *arrayIterator) SetPos(pos uint64) {
+	if pos == kv.PosEOF {
+		it.ok = false
+		return
+	}
+	slot := int(pos >> posSlotShift)
+	idx := int(pos & (1<<posSlotShift - 1))
+	if slot != it.slot || idx >= len(it.pending) {
+		if slot >= it.t.array.count {
+			it.ok = false
+			return
+		}
+		it.t.dev.ChargeAccess()
+		es, s, err := it.t.array.slotEntries(slot, it.scratch)
+		it.scratch = s
+		if err != nil {
+			it.ok = false
+			return
+		}
+		it.pending = it.pending[:0]
+		for _, e := range es {
+			it.pending = append(it.pending, kv.Entry{
+				Key:   append([]byte(nil), e.Key...),
+				Value: append([]byte(nil), e.Value...),
+				Seq:   e.Seq,
+				Kind:  e.Kind,
+			})
+		}
+		it.slot = slot
+	}
+	if idx >= len(it.pending) {
+		it.ok = false
+		return
+	}
+	it.cur = it.pending[idx]
+	it.pi = idx + 1
+	it.ok = true
+}
+
 func (it *arrayIterator) SeekGE(key []byte) {
 	// Binary search over slot first keys, then a short in-slot scan.
 	m := it.t.array

@@ -473,6 +473,51 @@ func (it *prefixIterator) Valid() bool     { return it.ok }
 func (it *prefixIterator) Next()           { it.advance() }
 func (it *prefixIterator) Entry() kv.Entry { return it.cur }
 
+// posGroupShift packs a group index above the in-group entry index in Pos
+// tokens; groups hold far fewer than 2^20 entries.
+const posGroupShift = 20
+
+// Pos implements kv.PosIterator: (group, entry-within-group).
+func (it *prefixIterator) Pos() uint64 {
+	if !it.ok {
+		return kv.PosEOF
+	}
+	return uint64(it.gi)<<posGroupShift | uint64(it.dec.i-1)
+}
+
+// SetPos implements kv.PosIterator. Groups are sequentially decoded, so the
+// restore replays the group from its start — groups are small (≤ GroupSize
+// entries), so this stays O(1) with a modest constant.
+func (it *prefixIterator) SetPos(pos uint64) {
+	if pos == kv.PosEOF {
+		it.ok = false
+		return
+	}
+	gi := int(pos >> posGroupShift)
+	idx := int(pos & (1<<posGroupShift - 1))
+	if gi >= it.t.prefix.numGroups {
+		it.ok = false
+		return
+	}
+	it.t.dev.ChargeAccess()
+	d, err := it.t.prefix.decodeGroup(gi)
+	if err != nil {
+		it.ok = false
+		return
+	}
+	it.gi = gi
+	it.dec = d
+	for i := 0; i <= idx; i++ {
+		e, ok := d.next()
+		if !ok {
+			it.ok = false
+			return
+		}
+		it.cur = e
+	}
+	it.ok = true
+}
+
 func (it *prefixIterator) SeekGE(key []byte) {
 	gi := it.t.findGroup(key)
 	it.gi = gi - 1

@@ -381,6 +381,33 @@ func (d *Device) ReadAt(id FileID, off int64, p []byte, cause device.Cause) erro
 	return nil
 }
 
+// MapAt returns a zero-copy read-only view of file bytes [off, off+n) — the
+// simulated counterpart of reading through an mmap'd file. It charges the
+// same service time as ReadAt. The view aliases the device's backing store:
+// Go's GC keeps it valid even after the file is deleted, and at-rest
+// corruption injected later (Rot) is visible through it — callers must verify
+// checksums at decode time, exactly as they must for a fresh copy. Only
+// immutable files (finished SSTables) may be mapped: an append that regrows
+// the backing array would strand the view on stale bytes.
+func (d *Device) MapAt(id FileID, off int64, n int, cause device.Cause) ([]byte, error) {
+	d.mu.RLock()
+	f, ok := d.files[id]
+	if !ok {
+		d.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	if off < 0 || n < 0 || off+int64(n) > int64(len(f.data)) {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("ssd: map out of range file=%d off=%d len=%d size=%d",
+			id, off, n, len(f.data))
+	}
+	view := f.data[off : off+int64(n) : off+int64(n)]
+	d.mu.RUnlock()
+	d.perform(false, pages(n)*PageSize)
+	d.stats.CountRead(cause, n)
+	return view, nil
+}
+
 // Truncate shrinks a file to size bytes (crash-tail simulation and log
 // rollback). It charges no I/O latency.
 func (d *Device) Truncate(id FileID, size int64) error {

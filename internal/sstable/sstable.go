@@ -554,8 +554,10 @@ func (t *Table) readBlock(h blockHandle, cause device.Cause) ([]byte, error) {
 			return blk, nil
 		}
 	}
-	raw := make([]byte, h.len)
-	if err := t.dev.ReadAt(t.file, h.off, raw, cause); err != nil {
+	// Zero-copy mapped read: the crc check in decodeRawBlock runs against the
+	// at-rest bytes, so later media corruption cannot hide behind this view.
+	raw, err := t.dev.MapAt(t.file, h.off, int(h.len), cause)
+	if err != nil {
 		return nil, err
 	}
 	body, err := decodeRawBlock(raw)
@@ -579,6 +581,11 @@ func decodeBlockEntries(body []byte, out []kv.Entry) ([]kv.Entry, error) {
 		return nil, ErrCorrupt
 	}
 	data := body[:dataEnd]
+	// Keys are carved from shared slabs rather than allocated one-by-one: a
+	// block holds dozens of entries and the per-key allocations dominate scan
+	// GC pressure. Slabs are never reset, so carved keys stay valid exactly as
+	// long as individually allocated ones would.
+	var slab []byte
 	var prevIK []byte
 	for len(data) > 0 {
 		shared, n := binary.Uvarint(data)
@@ -599,9 +606,18 @@ func decodeBlockEntries(body []byte, out []kv.Entry) ([]kv.Entry, error) {
 		if int(shared) > len(prevIK) || int(unshared)+int(vlen) > len(data) {
 			return nil, ErrCorrupt
 		}
-		ik := make([]byte, 0, shared+unshared)
-		ik = append(ik, prevIK[:shared]...)
-		ik = append(ik, data[:unshared]...)
+		need := int(shared + unshared)
+		if len(slab)+need > cap(slab) {
+			n := 1 << 10
+			for n < need {
+				n <<= 1
+			}
+			slab = make([]byte, 0, n)
+		}
+		off := len(slab)
+		slab = append(slab, prevIK[:shared]...)
+		slab = append(slab, data[:unshared]...)
+		ik := slab[off:len(slab):len(slab)]
 		data = data[unshared:]
 		val := data[:vlen]
 		data = data[vlen:]
@@ -770,8 +786,8 @@ func (t *Table) readBlockSpans(probes []batchProbe) (map[int][]byte, int, error)
 		first, last := missing[lo], missing[hi]
 		start := t.index[first].handle.off
 		span := t.index[last].handle.off + t.index[last].handle.len - start
-		raw := make([]byte, span)
-		if err := t.dev.ReadAt(t.file, start, raw, device.CauseClientRead); err != nil {
+		raw, err := t.dev.MapAt(t.file, start, int(span), device.CauseClientRead)
+		if err != nil {
 			return nil, saved, err
 		}
 		for bi := first; bi <= last; bi++ {
@@ -915,6 +931,7 @@ type Iterator struct {
 	err     error
 
 	readahead int    // bytes per device read when scanning (0 = one block)
+	hintBytes int    // one-shot cap on the next readahead span (0 = none)
 	fillCache bool   // consult and populate the block cache around readahead
 	raBuf     []byte // raw bytes covering blocks [raFirst, raLast]
 	raFirst   int
@@ -967,6 +984,19 @@ func (t *Table) NewScanIterator() *Iterator {
 // Err reports the first I/O or corruption error the iterator hit.
 func (it *Iterator) Err() error { return it.err }
 
+// HintEntries caps the next readahead span to roughly n entries' worth of
+// bytes (estimated from the table's average entry size). A bounded scan then
+// reads only what it will consume instead of a full ScanReadahead window; if
+// the scan outlives the hint, later spans revert to the full window. No-op
+// without readahead.
+func (it *Iterator) HintEntries(n int) {
+	if it.readahead == 0 || n <= 0 || it.t.count == 0 {
+		return
+	}
+	avg := int(it.t.size) / it.t.count
+	it.hintBytes = n*avg + BlockSize
+}
+
 // Prefetch performs the next sequential device read (S1) so that subsequent
 // Next calls decode from memory. It is a no-op without readahead or when the
 // buffer already covers upcoming blocks.
@@ -1001,19 +1031,28 @@ func (it *Iterator) rawBlock(bi int) ([]byte, error) {
 		return it.raBuf[off : off+h.len], nil
 	}
 	// Read a span of consecutive blocks starting at bi totalling up to
-	// readahead bytes.
+	// readahead bytes — less when a one-shot hint says the scan is bounded.
+	budget := int64(it.readahead)
+	if it.hintBytes > 0 {
+		if b := int64(it.hintBytes); b < budget {
+			budget = b
+		}
+		it.hintBytes = 0
+	}
 	last := bi
 	span := it.t.index[bi].handle.len
 	for last+1 < len(it.t.index) {
 		nh := it.t.index[last+1].handle
-		if span+nh.len > int64(it.readahead) {
+		if span+nh.len > budget {
 			break
 		}
 		span += nh.len
 		last++
 	}
-	buf := make([]byte, span)
-	if err := it.t.dev.ReadAt(it.t.file, h.off, buf, device.CauseClientRead); err != nil {
+	// Zero-copy mapped span: per-block crc checks at decode time verify the
+	// at-rest bytes, same as a copied read would.
+	buf, err := it.t.dev.MapAt(it.t.file, h.off, int(span), device.CauseClientRead)
+	if err != nil {
 		return nil, err
 	}
 	it.raBuf, it.raFirst, it.raLast, it.raOff = buf, bi, last, h.off
@@ -1049,6 +1088,11 @@ func (it *Iterator) loadBlock(bi int) bool {
 			body, err = it.t.readBlock(it.t.index[bi].handle, device.CauseClientRead)
 		}
 		if err == nil {
+			if it.entries == nil && len(it.t.index) > 0 {
+				// Presize to the table's average block population: the first
+				// decode otherwise regrows the slice log2(n) times per scan.
+				it.entries = make([]kv.Entry, 0, it.t.count/len(it.t.index)+4)
+			}
 			it.entries, err = decodeBlockEntries(body, it.entries[:0])
 		}
 		if err != nil {
@@ -1094,6 +1138,51 @@ func (it *Iterator) Next() {
 			it.ei = 0
 		}
 	}
+}
+
+// posEntryBits is the low-bit budget of a Pos token reserved for the entry
+// index inside a block; BlockSize (4 KiB) caps real blocks far below 2^20
+// entries, so block index and entry index pack without collision.
+const posEntryBits = 20
+
+// Pos implements kv.PosIterator: the token packs (block index, entry index).
+// Tokens are only meaningful for non-salvage iterators (salvage renumbers
+// blocks by skipping corrupt ones).
+func (it *Iterator) Pos() uint64 {
+	if !it.Valid() {
+		return kv.PosEOF
+	}
+	return uint64(it.bi)<<posEntryBits | uint64(it.ei)
+}
+
+// SetPos implements kv.PosIterator, restoring a token captured by Pos from
+// any iterator over the same table. When the target block is already decoded
+// the restore is free; otherwise it costs the one block load a SeekGE into
+// that block would also pay, minus the index binary search.
+func (it *Iterator) SetPos(pos uint64) {
+	if pos == kv.PosEOF {
+		it.entries = it.entries[:0]
+		it.ei = 0
+		return
+	}
+	bi := int(pos >> posEntryBits)
+	ei := int(pos & (1<<posEntryBits - 1))
+	if bi == it.bi && ei < len(it.entries) {
+		it.ei = ei
+		return
+	}
+	if bi >= len(it.t.index) || !it.loadBlock(bi) {
+		it.entries = nil
+		it.ei = 0
+		return
+	}
+	if it.bi != bi || ei >= len(it.entries) {
+		// Salvage skipping or a foreign token; nothing sane to restore.
+		it.entries = nil
+		it.ei = 0
+		return
+	}
+	it.ei = ei
 }
 
 // SeekGE implements kv.Iterator.

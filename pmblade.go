@@ -137,23 +137,14 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) { return db.eng
 // parallel.
 func (db *DB) MultiGet(keys [][]byte) ([]engine.GetResult, error) { return db.eng.MultiGet(keys) }
 
-// KV is one key-value pair returned by Scan.
-type KV struct {
-	Key, Value []byte
-}
+// KV is one key-value pair returned by Scan. It aliases the engine's result
+// type so scans hand the result slice through without a re-wrap copy.
+type KV = engine.ScanResult
 
 // Scan returns up to limit live pairs with start <= key < end; nil bounds
 // are unbounded, limit 0 is unlimited.
 func (db *DB) Scan(start, end []byte, limit int) ([]KV, error) {
-	res, err := db.eng.Scan(start, end, limit)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]KV, len(res))
-	for i, r := range res {
-		out[i] = KV{Key: r.Key, Value: r.Value}
-	}
-	return out, nil
+	return db.eng.Scan(start, end, limit)
 }
 
 // Batch groups writes for atomic application.
