@@ -3,7 +3,7 @@
 GO ?= go
 VET_BIN := $(CURDIR)/bin/pmblade-vet
 
-.PHONY: build test race vet pmblade-vet vet-baseline crash scrub-soak bench-smoke stress-compact verify clean
+.PHONY: build test race vet pmblade-vet vet-baseline crash scrub-soak bench-smoke stress-compact stress-snapshot verify clean
 
 build:
 	$(GO) build ./...
@@ -59,8 +59,15 @@ bench-smoke:
 stress-compact:
 	$(GO) test -race -count=1 -run 'TestStressCompactEvict|TestEvictionDoesNotBlockPreservedPuts|TestEvictionVictimFaultIsolation|TestConcurrentEvictTriggersJoinOnePass' ./internal/engine
 
+# Snapshot-isolation stress: concurrent batch writers against snapshot
+# Scan/MultiGet readers (no torn batch, no vanished key), the visibility
+# regression tests, and iterator pinning across flush + major compaction —
+# all under the race detector.
+stress-snapshot:
+	$(GO) test -race -count=1 -run 'TestSnapshotNoTornBatches|TestSnapshotBasic|TestScanOverwriteAfterSnapshot|TestIteratorPinnedAcrossCompaction' ./internal/engine
+
 # verify is the pre-merge gate: everything CI checks, in one target.
-verify: build vet pmblade-vet race stress-compact crash scrub-soak bench-smoke
+verify: build vet pmblade-vet race stress-compact stress-snapshot crash scrub-soak bench-smoke
 
 clean:
 	rm -rf bin

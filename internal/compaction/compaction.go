@@ -145,6 +145,10 @@ type Params struct {
 	// DropTombstones removes deletions and the versions they shadow (legal
 	// only when no older level can contain the keys).
 	DropTombstones bool
+	// Boundaries are the snapshot retention boundaries (ascending), normally
+	// DB.retentionBounds(): versions an open snapshot can still read survive
+	// the compaction. Empty or watermark-only degenerates to plain dedup.
+	Boundaries []uint64
 	// TargetTableBytes splits the output into tables of roughly this size;
 	// 0 means a single table.
 	TargetTableBytes int64
@@ -214,9 +218,15 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 		return nil
 	}
 
-	// lastKey tracks dedup state across compute bursts.
-	var lastKey []byte
-	haveLast := false
+	// Snapshot-aware retention state spans compute bursts: the Retainer keeps
+	// the newest version of each key plus every older version an open
+	// snapshot can still read; with no snapshots it degenerates to the old
+	// newest-version-only dedup.
+	ret := kv.NewRetainer(p.Boundaries, p.DropTombstones)
+	// splitPending defers a size-triggered table split to the next user-key
+	// boundary: a key's retained versions must never straddle an output
+	// table — non-overlapping-run probes open exactly one table per key.
+	splitPending := false
 
 	// prefetcher is implemented by sources with device readahead (SSTables);
 	// its device read is the true S1, while decoding the fetched bytes is
@@ -278,28 +288,26 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 					return // all exhausted
 				}
 				e := srcs[best].head()
-				srcs[best].pos++
-
-				// Dedup: keep only the newest version of each key.
-				if haveLast && bytes.Equal(e.Key, lastKey) {
-					continue
-				}
-				lastKey = append(lastKey[:0], e.Key...)
-				haveLast = true
-				if p.DropTombstones && e.Kind == kv.KindDelete {
-					continue
-				}
-				if builder == nil {
-					newBuilder()
-				}
-				if err := builder.Add(e); err != nil {
-					buildErr = err
-					return
-				}
-				builderBytes += int64(e.Size())
-				if p.TargetTableBytes > 0 && builderBytes >= p.TargetTableBytes {
+				if splitPending && ret.StartsNewKey(e.Key) {
+					// Deferred split lands on a key boundary; e stays queued
+					// and is reprocessed after the builder rolls over.
 					needSplit = true
 					return
+				}
+				srcs[best].pos++
+
+				for _, oe := range ret.Next(e) {
+					if builder == nil {
+						newBuilder()
+					}
+					if err := builder.Add(oe); err != nil {
+						buildErr = err
+						return
+					}
+					builderBytes += int64(oe.Size())
+				}
+				if p.TargetTableBytes > 0 && builderBytes >= p.TargetTableBytes {
+					splitPending = true
 				}
 				if p.BreakOnWrite && sink.full() {
 					return // S3 interrupts S2 (thread / basic coroutine)
@@ -320,6 +328,7 @@ func Run(ctx *sched.Ctx, sources []kv.Iterator, p Params) ([]*sstable.Table, err
 			if err := finishBuilder(); err != nil {
 				return fail(err)
 			}
+			splitPending = false
 		}
 	}
 	if err := finishBuilder(); err != nil {

@@ -19,16 +19,26 @@ type commitReq struct {
 // the group committer (Section IV-D's pipeline, stage 1-2: enqueue, then one
 // coalesced WAL append+sync for every writer waiting at that moment). With
 // the WAL disabled it only assigns sequences.
-func (db *DB) commit(entries []kv.Entry) error {
+//
+// Sequences are allocated as one contiguous block per batch and returned as
+// [first, last]: the caller MUST call db.publish(first, last) after its
+// memtable inserts complete (or after a commit error), which advances the
+// visibility watermark in commit order. Allocated-but-unpublished sequences
+// are invisible to readers, so a concurrent reader can never observe part of
+// a batch.
+func (db *DB) commit(entries []kv.Entry) (first, last uint64, err error) {
+	n := uint64(len(entries))
+	last = db.seq.Add(n)
+	first = last - n + 1
 	for i := range entries {
-		entries[i].Seq = db.seq.Add(1)
+		entries[i].Seq = first + uint64(i)
 	}
 	if db.wal == nil {
-		return nil
+		return first, last, nil
 	}
 	req := &commitReq{entries: entries, err: make(chan error, 1)}
 	db.commitC <- req
-	return <-req.err
+	return first, last, <-req.err
 }
 
 // entriesBytes estimates the WAL payload of a batch.

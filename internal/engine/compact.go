@@ -216,7 +216,7 @@ func resetPartitionStats(p *partition) {
 //pmblade:compacts
 func (db *DB) internalCompact(p *partition) error {
 	keepTombstones := p.run.Len() > 0
-	_, err := p.l0.CompactInternal(keepTombstones)
+	_, err := p.l0.CompactInternal(keepTombstones, db.retentionBounds())
 	if err == pmem.ErrOutOfSpace {
 		return db.majorCompactPartition(p)
 	}
@@ -447,6 +447,10 @@ func discardTables(results [][]*sstable.Table) {
 func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byte) ([]*sstable.Table, error) {
 	nTasks := db.cfg.Workers * db.pool.K()
 	splits := compaction.SplitRange(bounds, nTasks)
+	// One retention snapshot for the whole compaction: subtasks cover
+	// disjoint key ranges, but every key's versions must be judged against
+	// the same boundary set.
+	retBounds := db.retentionBounds()
 
 	type rng struct{ lo, hi []byte }
 	var ranges []rng
@@ -467,6 +471,7 @@ func (db *DB) runMajor(makeSources func(lo []byte) []kv.Iterator, bounds [][]byt
 				Dev:              db.ssd,
 				Cause:            device.CauseMajor,
 				DropTombstones:   true, // the run is the bottom level
+				Boundaries:       retBounds,
 				TargetTableBytes: db.cfg.SSTableBytes,
 				Hi:               r.hi,
 				BreakOnWrite:     db.cfg.SchedMode != sched.ModePMBlade,
@@ -567,6 +572,7 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 
 	nTasks := db.cfg.Workers * db.pool.K()
 	splits := compaction.SplitRange(bounds, nTasks)
+	retBounds := db.retentionBounds()
 	type rng struct{ lo, hi []byte }
 	var ranges []rng
 	var cur []byte
@@ -585,6 +591,7 @@ func (db *DB) compactLeveledOnce(p *partition, level int) error {
 				Dev:              db.ssd,
 				Cause:            device.CauseLeveled,
 				DropTombstones:   drop,
+				Boundaries:       retBounds,
 				TargetTableBytes: db.cfg.SSTableBytes,
 				Hi:               r.hi,
 				BreakOnWrite:     db.cfg.SchedMode != sched.ModePMBlade,

@@ -43,6 +43,20 @@ type DB struct {
 	userBytes atomic.Int64
 	metrics   *Metrics
 
+	// Visibility watermark (DESIGN.md §5.10): seq above is the *allocated*
+	// counter; visible is the *published* one readers snapshot. A batch's
+	// contiguous seq block publishes only after all its memtable inserts
+	// complete, in commit order, so a reader never observes a torn batch.
+	visible atomic.Uint64
+	pubMu   sync.Mutex
+	pubDone map[uint64]uint64 // completed blocks (first -> last) awaiting in-order publish; guarded by: pubMu
+	pubNext uint64            // next sequence expected to publish; guarded by: pubMu
+
+	// Snapshot registry: pinned sequences (open snapshots plus in-flight
+	// reads) that flush/compaction retention consults via retentionBounds.
+	snapMu   sync.Mutex
+	snapRefs map[uint64]int // pinned seq -> refcount; guarded by: snapMu
+
 	wal   *wal.Writer
 	walMu sync.Mutex
 
@@ -290,6 +304,7 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("engine: install initial manifest: %w", err)
 		}
 	}
+	db.initVisibility()
 	db.startPipeline()
 	return db, nil
 }

@@ -9,7 +9,10 @@ import (
 // Iterator streams live key-value pairs in key order across every tier and
 // partition. It holds table references while open; Close releases them.
 // Iterators observe a snapshot sequence taken at creation: writes committed
-// afterwards are not visible.
+// afterwards are not visible. The sequence is pinned in the snapshot
+// registry until Close, so flush and compaction retain the versions the
+// iterator can still read — sources acquired lazily at later partition hops
+// therefore still hold the snapshot's versions.
 type Iterator struct {
 	db  *DB
 	seq uint64
@@ -46,16 +49,28 @@ func (db *DB) NewIterator(start, end []byte) (*Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	return db.newIteratorAt(start, end, db.beginRead())
+}
+
+// newIteratorAt opens an iterator at an explicit snapshot sequence. It takes
+// ownership of one registry pin on seq (released by Close — including the
+// error path below, which closes the half-open iterator).
+func (db *DB) newIteratorAt(start, end []byte, seq uint64) (*Iterator, error) {
+	if db.closed.Load() {
+		db.releaseSeq(seq)
+		return nil, ErrClosed
+	}
 	parts := db.partitionsInRange(start, end)
 	for _, p := range parts {
 		if p.quarOverlaps(start, end) {
 			db.metrics.UnavailableReads.Add(1)
+			db.releaseSeq(seq)
 			return nil, ErrUnavailable
 		}
 	}
 	it := &Iterator{
 		db:       db,
-		seq:      db.seq.Load(),
+		seq:      seq,
 		end:      append([]byte(nil), end...),
 		parts:    parts,
 		firstKey: append([]byte(nil), start...),
@@ -107,7 +122,10 @@ func (it *Iterator) openPartition(pi int, from []byte) {
 		}
 	}
 	it.release = release
-	it.merged = kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+	// Visibility before dedup (see scanPartition): otherwise a key whose
+	// newest version postdates the snapshot vanishes instead of resolving to
+	// its older visible version.
+	it.merged = kv.NewDedupIterator(kv.NewVisibleIterator(kv.NewMergingIteratorAt(its...), it.seq), false)
 	it.startPrefetch(pi + 1)
 }
 
@@ -121,7 +139,7 @@ func (it *Iterator) startPrefetch(pi int) {
 	}
 	pf := &iterPrefetch{pi: pi, done: make(chan struct{})}
 	it.prefetch = pf
-	p, db := it.parts[pi], it.db
+	p, db, seq := it.parts[pi], it.db, it.seq
 	go func() {
 		defer close(pf.done)
 		its, release := db.partitionSources(p)
@@ -129,7 +147,7 @@ func (it *Iterator) startPrefetch(pi int) {
 			src.SeekToFirst()
 		}
 		pf.release = release
-		pf.merged = kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+		pf.merged = kv.NewDedupIterator(kv.NewVisibleIterator(kv.NewMergingIteratorAt(its...), seq), false)
 	}()
 }
 
@@ -165,7 +183,7 @@ func (it *Iterator) advance() {
 				it.valid = false
 				return
 			}
-			if e.Seq > it.seq || e.Kind == kv.KindDelete {
+			if e.Kind == kv.KindDelete {
 				continue
 			}
 			it.cur = ScanResult{
@@ -204,13 +222,15 @@ func (it *Iterator) Next() {
 	it.advance()
 }
 
-// Close releases the iterator's table references. It is safe to call twice.
+// Close releases the iterator's table references and its snapshot-registry
+// pin. It is safe to call twice.
 func (it *Iterator) Close() {
 	if it.closed {
 		return
 	}
 	it.closed = true
 	it.valid = false
+	it.db.releaseSeq(it.seq)
 	if it.release != nil {
 		it.release()
 		it.release = nil

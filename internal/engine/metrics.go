@@ -127,6 +127,14 @@ type Metrics struct {
 	RangeViewSegments   atomic.Int64
 	RangeViewBytes      atomic.Int64
 
+	// SnapshotsOpen is a gauge of snapshots currently open; MinActiveSeq
+	// mirrors DB.MinActiveSeq at the last snapshot open/close — the retention
+	// horizon flush and compaction honor. SnapshotScanLatency is the
+	// end-to-end histogram for Snapshot.Scan.
+	SnapshotsOpen       atomic.Int64
+	MinActiveSeq        atomic.Uint64
+	SnapshotScanLatency *histogram.Histogram
+
 	// RepairPasses counts RepairQuarantined partition rebuilds;
 	// RepairBlocksSkipped counts corrupt blocks salvage had to skip (the data
 	// that was actually lost); RepairTablesRetired counts corpses retired.
@@ -140,10 +148,11 @@ type Metrics struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		ReadLatency:     histogram.New(),
-		WriteLatency:    histogram.New(),
-		ScanLatency:     histogram.New(),
-		MultiGetLatency: histogram.New(),
+		ReadLatency:         histogram.New(),
+		WriteLatency:        histogram.New(),
+		ScanLatency:         histogram.New(),
+		MultiGetLatency:     histogram.New(),
+		SnapshotScanLatency: histogram.New(),
 	}
 }
 
@@ -189,6 +198,7 @@ func (m *Metrics) ResetLatencies() {
 	m.WriteLatency.Reset()
 	m.ScanLatency.Reset()
 	m.MultiGetLatency.Reset()
+	m.SnapshotScanLatency.Reset()
 }
 
 // WriteAmp summarizes write traffic by destination and cause — the paper's

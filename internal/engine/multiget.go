@@ -32,8 +32,17 @@ func (db *DB) MultiGet(keys [][]byte) ([]GetResult, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	seq := db.beginRead()
+	defer db.endRead(seq)
+	return db.multiGetAt(keys, seq)
+}
+
+// multiGetAt is the explicit-sequence batch-read body shared by DB.MultiGet
+// and Snapshot.MultiGet. The caller must hold a registry pin on seq; the
+// quarantine-heal retry below deliberately reuses the same sequence so the
+// rerun reads at the same point in time.
+func (db *DB) multiGetAt(keys [][]byte, seq uint64) ([]GetResult, error) {
 	start := time.Now()
-	seq := db.seq.Load()
 	results := make([]GetResult, len(keys))
 	if len(keys) == 0 {
 		return results, nil

@@ -362,8 +362,16 @@ func (db *DB) scanViewPartition(p *partition, v *rangeindex.View, start, end []b
 			out = grown
 		}
 	}
-	var lastKey []byte
-	haveLast := false
+	// consumedKey is the last user key DECIDED: its newest visible version was
+	// seen and emitted (or was a tombstone). An entry whose Seq postdates the
+	// snapshot must NOT consume its key — an older, visible version may follow
+	// and still owns the decision. lastFromView is true only when the previous
+	// processed entry came from the view AND its key is the consumed one; that
+	// is the precondition for both the dup-bit fast skip (same key as the
+	// consumed view key) and the dup-bit-clear "new key by construction" skip
+	// of the bytes.Equal below.
+	var consumedKey []byte
+	haveConsumed := false
 	lastFromView := false
 	vOK, oOK := vi.Valid(), ov.Valid()
 	for {
@@ -373,9 +381,8 @@ func (db *DB) scanViewPartition(p *partition, v *rangeindex.View, start, end []b
 		fromView := vOK && (!oOK || kv.Compare(vi.Entry(), ov.Entry()) <= 0)
 		var e kv.Entry
 		if fromView {
-			if vi.SameAsPrev() {
-				// Older version of a key the view already yielded; the newer
-				// version was consumed earlier, so skip without key compares.
+			if lastFromView && vi.SameAsPrev() {
+				// Older version of the consumed key; skip without key compares.
 				vi.Next()
 				vOK = vi.Valid()
 				continue
@@ -387,25 +394,29 @@ func (db *DB) scanViewPartition(p *partition, v *rangeindex.View, start, end []b
 		if end != nil && bytes.Compare(e.Key, end) >= 0 {
 			break
 		}
-		var isNew bool
+		var decided bool
 		if fromView && lastFromView {
-			// Dup bit clear and the previous consumed entry was the view's
-			// previous entry: the keys differ by construction.
-			isNew = true
+			// Dup bit clear (else the fast skip above fired) and the previous
+			// view entry holds the consumed key: keys differ by construction.
+			decided = false
 		} else {
-			isNew = !haveLast || !bytes.Equal(e.Key, lastKey)
+			decided = haveConsumed && bytes.Equal(e.Key, consumedKey)
 		}
-		if isNew {
-			lastKey = append(lastKey[:0], e.Key...)
-			haveLast = true
-			if e.Seq <= seq && e.Kind != kv.KindDelete {
+		consumed := decided
+		if !decided && e.Seq <= seq {
+			// Newest visible version of an undecided key: the decision is made
+			// here whether it is a live value or a tombstone.
+			consumedKey = append(consumedKey[:0], e.Key...)
+			haveConsumed = true
+			consumed = true
+			if e.Kind != kv.KindDelete {
 				out = append(out, ScanResult{Key: arena.copy(e.Key), Value: arena.copy(e.Value)})
 				if limit > 0 && len(out) >= limit {
 					break
 				}
 			}
 		}
-		lastFromView = fromView
+		lastFromView = fromView && consumed
 		if fromView {
 			vi.Next()
 			vOK = vi.Valid()

@@ -20,11 +20,21 @@ func (db *DB) Get(key []byte) (value []byte, ok bool, err error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
 	}
+	seq := db.beginRead()
+	defer db.endRead(seq)
+	return db.getAt(key, seq)
+}
+
+// getAt resolves key at an explicit snapshot sequence — the shared body of
+// DB.Get and Snapshot.Get. The caller must hold a registry pin on seq.
+func (db *DB) getAt(key []byte, seq uint64) (value []byte, ok bool, err error) {
 	start := time.Now()
 	p := db.route(key)
-	e, ok, tier, err := db.get(p, key, db.seq.Load())
+	e, ok, tier, err := db.get(p, key, seq)
 	if err != nil && db.healCorruption(p, err) {
-		e, ok, tier, err = db.get(p, key, db.seq.Load())
+		// Retry at the SAME snapshot sequence: a heal retry that re-read at a
+		// fresh sequence would silently move the read's point in time.
+		e, ok, tier, err = db.get(p, key, seq)
 	}
 	if err != nil {
 		return nil, false, err
@@ -123,8 +133,15 @@ func (db *DB) Scan(start, end []byte, limit int) ([]ScanResult, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	seq := db.beginRead()
+	defer db.endRead(seq)
+	return db.scanAt(start, end, limit, seq)
+}
+
+// scanAt is the explicit-sequence scan body shared by DB.Scan and
+// Snapshot.Scan. The caller must hold a registry pin on seq.
+func (db *DB) scanAt(start, end []byte, limit int, seq uint64) ([]ScanResult, error) {
 	begin := time.Now()
-	seq := db.seq.Load()
 	parts := db.partitionsInRange(start, end)
 	// A scan cannot route around a quarantined table with Bloom precision the
 	// way point reads can: any overlap with a quarantined key range makes the
@@ -201,13 +218,17 @@ func (db *DB) scanPartition(p *partition, start, end []byte, limit int, seq uint
 			it.SeekToFirst()
 		}
 	}
-	merged := kv.NewDedupIterator(kv.NewMergingIteratorAt(its...), false)
+	// Visibility BEFORE dedup: filtering e.Seq > seq after DedupIterator
+	// would discard keys whose newest version postdates the snapshot — the
+	// dedup would keep the invisible newest version and the filter would
+	// then drop the key entirely instead of yielding its older visible one.
+	merged := kv.NewDedupIterator(kv.NewVisibleIterator(kv.NewMergingIteratorAt(its...), seq), false)
 	for ; merged.Valid(); merged.Next() {
 		e := merged.Entry()
 		if end != nil && bytes.Compare(e.Key, end) >= 0 {
 			break
 		}
-		if e.Seq > seq || e.Kind == kv.KindDelete {
+		if e.Kind == kv.KindDelete {
 			continue
 		}
 		// DedupIterator owns freshly allocated buffers per entry, so they can

@@ -607,6 +607,9 @@ func Recover(cfg Config, pm *pmem.Device, sd *ssd.Device, manifestFile ssd.FileI
 			sd.Delete(ssd.FileID(wf))
 		}
 	}
+	// Seed the visibility watermark at the recovered sequence: everything
+	// replayed is published, nothing is in flight.
+	db.initVisibility()
 	db.startPipeline()
 	return db, nil
 }

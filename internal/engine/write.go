@@ -65,7 +65,11 @@ func (db *DB) Apply(b *Batch) error {
 		return err
 	}
 	start := time.Now()
-	if err := db.commit(b.entries); err != nil {
+	first, last, err := db.commit(b.entries)
+	if err != nil {
+		// The failed block still publishes: the in-order watermark must not
+		// stall on a gap no insert will ever fill.
+		db.publish(first, last)
 		return err
 	}
 	// Apply every memtable insert before any flush check, so a maintenance
@@ -81,6 +85,9 @@ func (db *DB) Apply(b *Batch) error {
 		p.mu.RUnlock()
 		touched[p] = true
 	}
+	// Every entry is inserted: publish the block, making the whole batch
+	// visible at once (all-or-nothing for concurrent readers).
+	db.publish(first, last)
 	var firstErr error
 	// Walk partitions in index order, not map order: with SyncFlush the
 	// flush happens on this goroutine, and crash-point enumeration needs
@@ -111,7 +118,9 @@ func (db *DB) apply(e kv.Entry) error {
 	e.Key = append([]byte(nil), e.Key...)
 	e.Value = append([]byte(nil), e.Value...)
 	one := [1]kv.Entry{e}
-	if err := db.commit(one[:]); err != nil {
+	first, last, err := db.commit(one[:])
+	if err != nil {
+		db.publish(first, last)
 		return err
 	}
 	e = one[0]
@@ -120,6 +129,7 @@ func (db *DB) apply(e kv.Entry) error {
 	p.mu.RLock()
 	p.mem.Add(e)
 	p.mu.RUnlock()
+	db.publish(first, last)
 	if err := db.maybeFlush(p); err != nil {
 		return err
 	}
@@ -293,16 +303,19 @@ func (db *DB) flushImmutables(p *partition) error {
 }
 
 // flushOne writes one immutable memtable to level-0. Shadowed versions are
-// dropped at flush (as RocksDB does absent snapshots): only the newest
-// version of each key leaves DRAM. pmem.ErrOutOfSpace propagates to the
-// caller, which evicts and retries.
+// dropped at flush per the snapshot-aware retention rule: with no open
+// snapshots the boundary set is just the visibility watermark and only the
+// newest version of each key leaves DRAM (as RocksDB does absent snapshots);
+// while a snapshot is open, the versions it can still read survive the
+// flush. pmem.ErrOutOfSpace propagates to the caller, which evicts and
+// retries.
 //
 //pmblade:compacts
 func (db *DB) flushOne(p *partition, m *memtable.Memtable) error {
 	if m.Empty() {
 		return nil
 	}
-	entries := collectEntries(kv.NewDedupIterator(m.NewIterator(), false))
+	entries := collectEntries(kv.NewRetainIterator(m.NewIterator(), db.retentionBounds(), false))
 	switch {
 	case p.l0 != nil: // PM level-0
 		// Transient PM faults are retried (Build releases its allocation on

@@ -11,7 +11,11 @@
 //   - the one in-flight operation is applied atomically or not at all;
 //   - every table the recovered engine serves passed its checksum (implied:
 //     recovery rejects torn images rather than serving them);
-//   - the engine accepts and serves new writes after recovery.
+//   - the engine accepts and serves new writes after recovery;
+//   - snapshot isolation survives the cut: snapshots held open across the
+//     power cut are reopened at their recorded sequence on the recovered
+//     engine and must serve exactly the oracle state from the moment they
+//     were opened — no later write visible, no pre-snapshot version lost.
 //
 // Everything derives from Options.Seed: a reported failure reproduces from
 // the (seed, point) pair alone.
@@ -151,26 +155,57 @@ type pendingOp struct {
 	writes map[string]*string
 }
 
+// snapRecord pairs a snapshot's sequence with the oracle state at the moment
+// it was opened: the point-in-time truth the snapshot must serve — including
+// after a power cut, on the recovered engine, via NewSnapshotAt. The
+// snapshots stay open for the rest of the pass, so flush and compaction run
+// with live pins and the retention machinery is what the cut interrupts.
+type snapRecord struct {
+	seq  uint64
+	vals map[string]*string
+}
+
 func strp(s string) *string { return &s }
 
 // runPass executes the seeded workload against a fresh engine with injector
-// in attached. It returns the acknowledged oracle and the pending op at the
+// in attached. It returns the acknowledged oracle, the pending op at the
 // moment the run stopped (nil writes map if the workload completed cleanly),
-// plus the devices for imaging.
-func runPass(opts Options, in *fault.Injector) (or *oracle, pending *pendingOp, pm *pmem.Device, sd *ssd.Device, err error) {
+// the snapshot records opened during the pass, plus the devices for imaging.
+func runPass(opts Options, in *fault.Injector) (or *oracle, pending *pendingOp, snaps []snapRecord, pm *pmem.Device, sd *ssd.Device, err error) {
 	or = newOracle()
 	cfg := harnessConfig(in)
 	db, oerr := engine.Open(cfg)
 	if oerr != nil {
 		// A cut during Open is a legitimate crash point: nothing was acked.
 		if !in.Alive() {
-			return or, &pendingOp{}, nil, nil, nil
+			return or, &pendingOp{}, nil, nil, nil, nil
 		}
-		return nil, nil, nil, nil, fmt.Errorf("open: %w", oerr)
+		return nil, nil, nil, nil, nil, fmt.Errorf("open: %w", oerr)
 	}
 	pm, sd = db.PMDevice(), db.SSDDevice()
+	// Snapshots open at fixed op indices (quartiles), so every pass — sizing
+	// and armed alike — pins the same sequences at the same points and the
+	// retention-aware flushes issue the identical device-op sequence. Opening
+	// a snapshot performs no device ops itself.
+	snapAt := map[int]bool{}
+	if opts.Ops >= 4 {
+		snapAt[opts.Ops/4] = true
+		snapAt[opts.Ops/2] = true
+		snapAt[3*opts.Ops/4] = true
+	}
+	var open []*engine.Snapshot
 	rng := &splitmix{s: uint64(opts.Seed) ^ 0xC2B2AE3D27D4EB4F}
 	for i := 0; i < opts.Ops; i++ {
+		if snapAt[i] {
+			if s, serr := db.NewSnapshot(); serr == nil {
+				vals := make(map[string]*string, len(or.vals))
+				for k, v := range or.vals {
+					vals[k] = v
+				}
+				snaps = append(snaps, snapRecord{seq: s.Seq(), vals: vals})
+				open = append(open, s) // held across the cut; closed after Close
+			}
+		}
 		if opts.CheckpointEvery > 0 && i > 0 && i%opts.CheckpointEvery == 0 {
 			if _, cerr := db.Checkpoint(); cerr != nil {
 				pending = &pendingOp{} // checkpoint has no client-visible writes
@@ -211,14 +246,18 @@ func runPass(opts Options, in *fault.Injector) (or *oracle, pending *pendingOp, 
 		or.apply(op)
 	}
 	// Close stops the committer; post-cut device ops fail without mutating,
-	// so a cut landing during shutdown is itself a tested crash point.
+	// so a cut landing during shutdown is itself a tested crash point. The
+	// snapshots are still open here — Close must tolerate live pins.
 	_ = db.Close()
-	return or, pending, pm, sd, nil
+	for _, s := range open {
+		s.Close()
+	}
+	return or, pending, snaps, pm, sd, nil
 }
 
 // verify recovers from the crash images and checks every invariant. It
 // returns a description of the first violation, or "".
-func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device, sd *ssd.Device) string {
+func verify(or *oracle, pending *pendingOp, snaps []snapRecord, in *fault.Injector, pm *pmem.Device, sd *ssd.Device) string {
 	if sd == nil {
 		// Cut during Open: nothing acked, nothing to recover.
 		if len(or.ever) != 0 {
@@ -336,6 +375,17 @@ func verify(or *oracle, pending *pendingOp, in *fault.Injector, pm *pmem.Device,
 		return desc
 	}
 
+	// Snapshot isolation across the cut: each snapshot opened during the
+	// workload is reopened at its recorded sequence and must serve exactly
+	// the oracle state from its open moment. Runs before the probe write —
+	// the probe postdates every snapshot trivially, but keeping the store
+	// byte-identical to the crash image makes failures reproducible.
+	for _, rec := range snaps {
+		if desc := verifySnapshot(db, or, pending, rec); desc != "" {
+			return desc
+		}
+	}
+
 	// The recovered engine must accept and serve new writes.
 	probeK, probeV := []byte("probe-after-recovery"), []byte("alive")
 	if perr := db.Put(probeK, probeV); perr != nil {
@@ -425,6 +475,75 @@ func verifyScans(db *engine.DB, or *oracle, pending *pendingOp) string {
 	return ""
 }
 
+// verifySnapshot reopens one recorded snapshot on the recovered engine (via
+// NewSnapshotAt) and checks snapshot isolation: point reads and a full-range
+// scan must both serve exactly the recorded point-in-time state. Every key
+// the workload ever touched — acked after the snapshot, or in flight at the
+// cut — is probed, so a later write leaking below the snapshot's sequence is
+// caught, as is a pre-snapshot version that flush or compaction dropped
+// despite the live pin.
+func verifySnapshot(db *engine.DB, or *oracle, pending *pendingOp, rec snapRecord) string {
+	s, err := db.NewSnapshotAt(rec.seq)
+	if err != nil {
+		return fmt.Sprintf("NewSnapshotAt(%d) failed after recovery: %v", rec.seq, err)
+	}
+	defer s.Close()
+
+	universe := make(map[string]bool, len(or.ever))
+	for k := range or.ever {
+		universe[k] = true
+	}
+	if pending != nil {
+		for k := range pending.writes {
+			universe[k] = true
+		}
+	}
+	for k := range universe {
+		// Keys missing from rec.vals were first written after the snapshot
+		// opened (the in-flight op included: it postdates every record); the
+		// snapshot must not see them.
+		want, acked := rec.vals[k]
+		got, ok, gerr := s.Get([]byte(k))
+		if gerr != nil {
+			return fmt.Sprintf("snapshot(seq=%d) Get(%s) failed: %v", rec.seq, k, gerr)
+		}
+		switch {
+		case (!acked || want == nil) && ok:
+			return fmt.Sprintf("snapshot isolation broken: seq=%d sees %s=%q written or resurrected after open", rec.seq, k, got)
+		case acked && want != nil && !ok:
+			return fmt.Sprintf("snapshot version lost: seq=%d lost %s (want %q)", rec.seq, k, *want)
+		case acked && want != nil && string(got) != *want:
+			return fmt.Sprintf("snapshot version corrupted: seq=%d %s = %q, want %q", rec.seq, k, got, *want)
+		}
+	}
+
+	// Full-range snapshot scan equals the recorded live set, in order.
+	var liveKeys []string
+	for k, v := range rec.vals {
+		if v != nil {
+			liveKeys = append(liveKeys, k)
+		}
+	}
+	sort.Strings(liveKeys)
+	res, serr := s.Scan(nil, nil, 0)
+	if serr != nil {
+		return fmt.Sprintf("snapshot(seq=%d) Scan failed: %v", rec.seq, serr)
+	}
+	if len(res) != len(liveKeys) {
+		return fmt.Sprintf("snapshot(seq=%d) Scan returned %d keys, recorded live set has %d", rec.seq, len(res), len(liveKeys))
+	}
+	for i, r := range res {
+		k := liveKeys[i]
+		if string(r.Key) != k {
+			return fmt.Sprintf("snapshot(seq=%d) Scan entry %d key %q, want %q", rec.seq, i, r.Key, k)
+		}
+		if want := rec.vals[k]; string(r.Value) != *want {
+			return fmt.Sprintf("snapshot(seq=%d) Scan(%s) = %q, want %q", rec.seq, k, r.Value, *want)
+		}
+	}
+	return ""
+}
+
 // Run executes the torture: one fault-free pass to size the crash-point
 // space, then one armed pass per selected point.
 func Run(opts Options) (*Report, error) {
@@ -436,7 +555,7 @@ func Run(opts Options) (*Report, error) {
 
 	// Pass 0: no faults. Sizes the point space and validates the harness.
 	in0 := fault.New(opts.Seed)
-	_, pending, _, _, err := runPass(opts, in0)
+	_, pending, _, _, _, err := runPass(opts, in0)
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +593,7 @@ func Run(opts Options) (*Report, error) {
 		}
 		in := fault.New(opts.Seed)
 		in.ArmPowerCut(k)
-		or, pend, pm, sd, perr := runPass(opts, in)
+		or, pend, snaps, pm, sd, perr := runPass(opts, in)
 		if perr != nil {
 			return nil, perr
 		}
@@ -484,7 +603,7 @@ func Run(opts Options) (*Report, error) {
 				Desc: "armed cut never fired: device-op sequence diverged between passes (nondeterministic harness)"})
 			continue
 		}
-		if desc := verify(or, pend, in, pm, sd); desc != "" {
+		if desc := verify(or, pend, snaps, in, pm, sd); desc != "" {
 			rep.Failures = append(rep.Failures, Failure{Point: k, Desc: desc})
 		}
 		if rep.Tested%100 == 0 {

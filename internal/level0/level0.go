@@ -276,11 +276,14 @@ type CompactionStats struct {
 }
 
 // CompactInternal performs an internal compaction: merge every unsorted and
-// sorted table, keep only the newest version of each key, and rebuild the
+// sorted table, keep the newest version of each key plus every older version
+// a retention boundary (open snapshot) can still read, and rebuild the
 // sorted run. Tombstones are retained when keepTombstones is true (required
-// whenever older data for this partition exists on SSD). Returns the stats;
-// if level-0 holds fewer than one table the call is a no-op.
-func (l *Level0) CompactInternal(keepTombstones bool) (CompactionStats, error) {
+// whenever older data for this partition exists on SSD). bounds are the
+// snapshot retention boundaries, ascending; empty degenerates to plain
+// newest-version dedup. Returns the stats; if level-0 holds fewer than one
+// table the call is a no-op.
+func (l *Level0) CompactInternal(keepTombstones bool, bounds []uint64) (CompactionStats, error) {
 	unsorted, sorted := l.snapshot()
 	if len(unsorted)+len(sorted) == 0 {
 		return CompactionStats{}, nil
@@ -305,7 +308,7 @@ func (l *Level0) CompactInternal(keepTombstones bool) (CompactionStats, error) {
 		sizeBefore += t.SizeBytes()
 	}
 
-	merged := kv.NewDedupIterator(kv.NewMergingIterator(inputs...), !keepTombstones)
+	merged := kv.NewRetainIterator(kv.NewMergingIterator(inputs...), bounds, !keepTombstones)
 
 	// Accumulate output tables of ~TargetTableSize raw bytes each.
 	var newSorted []*pmtable.Table
@@ -337,14 +340,18 @@ func (l *Level0) CompactInternal(keepTombstones bool) (CompactionStats, error) {
 	}
 	for ; merged.Valid(); merged.Next() {
 		e := merged.Entry()
-		stats.EntriesOut++
-		batch = append(batch, e)
-		batchBytes += int64(e.Size())
-		if l.cfg.TargetTableSize > 0 && batchBytes >= l.cfg.TargetTableSize {
+		// Table splits only at user-key boundaries: a key's retained versions
+		// must live in one table, or the sorted-run probe (one table per key)
+		// would miss the older versions a snapshot still reads.
+		if l.cfg.TargetTableSize > 0 && batchBytes >= l.cfg.TargetTableSize &&
+			len(batch) > 0 && !bytes.Equal(e.Key, batch[len(batch)-1].Key) {
 			if err := flush(); err != nil {
 				return cleanup(err)
 			}
 		}
+		stats.EntriesOut++
+		batch = append(batch, e)
+		batchBytes += int64(e.Size())
 	}
 	if err := flush(); err != nil {
 		return cleanup(err)

@@ -84,7 +84,7 @@ func TestInternalCompactionReducesProbes(t *testing.T) {
 		t.Fatalf("unsorted = %d", l.UnsortedCount())
 	}
 	_, _, before := l.Get([]byte("key-025"), kv.MaxSeq)
-	stats, err := l.CompactInternal(true)
+	stats, err := l.CompactInternal(true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestCompactionKeepsTombstonesWhenAsked(t *testing.T) {
 	l, dev := newL0(t)
 	flushBatch(t, l, dev, []kv.Entry{{Key: []byte("k"), Value: []byte("v"), Seq: 1}})
 	flushBatch(t, l, dev, []kv.Entry{{Key: []byte("k"), Seq: 2, Kind: kv.KindDelete}})
-	if _, err := l.CompactInternal(true); err != nil {
+	if _, err := l.CompactInternal(true, nil); err != nil {
 		t.Fatal(err)
 	}
 	e, ok, _ := l.Get([]byte("k"), kv.MaxSeq)
@@ -126,7 +126,7 @@ func TestCompactionDropsTombstonesAtBottom(t *testing.T) {
 		{Key: []byte("k"), Value: []byte("v"), Seq: 2},
 	})
 	flushBatch(t, l, dev, []kv.Entry{{Key: []byte("k"), Seq: 3, Kind: kv.KindDelete}})
-	if _, err := l.CompactInternal(false); err != nil {
+	if _, err := l.CompactInternal(false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := l.Get([]byte("k"), kv.MaxSeq); ok {
@@ -151,7 +151,7 @@ func TestCompactionSplitsIntoTargetSizedTables(t *testing.T) {
 	// Two batches so compaction has something to merge.
 	flushBatch(t, l, dev, append([]kv.Entry(nil), entries[:1000]...))
 	flushBatch(t, l, dev, append([]kv.Entry(nil), entries[1000:]...))
-	if _, err := l.CompactInternal(true); err != nil {
+	if _, err := l.CompactInternal(true, nil); err != nil {
 		t.Fatal(err)
 	}
 	if l.SortedCount() < 2 {
@@ -200,7 +200,7 @@ func TestSkewedUpdatesReleaseMoreSpace(t *testing.T) {
 			}
 			flushBatch(t, l, dev, entries)
 		}
-		stats, err := l.CompactInternal(true)
+		stats, err := l.CompactInternal(true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +234,7 @@ func TestEvict(t *testing.T) {
 
 func TestCompactEmptyIsNoop(t *testing.T) {
 	l, _ := newL0(t)
-	stats, err := l.CompactInternal(true)
+	stats, err := l.CompactInternal(true, nil)
 	if err != nil || stats.TablesIn != 0 {
 		t.Fatalf("empty compact: %+v %v", stats, err)
 	}

@@ -174,6 +174,52 @@ func (db *DB) NewIterator(start, end []byte) (*engine.Iterator, error) {
 	return db.eng.NewIterator(start, end)
 }
 
+// Snapshot is a consistent point-in-time view of the database: every read
+// through it resolves at the same sequence across partitions and tiers,
+// unaffected by concurrent writes, flushes, and compactions. While a
+// snapshot is open, flush and compaction retain the versions it can read;
+// Close releases that pin. With no snapshots open, write amplification is
+// unchanged — shadowed versions are still dropped at flush.
+type Snapshot struct {
+	s *engine.Snapshot
+}
+
+// NewSnapshot opens a snapshot at the current visibility watermark. Batches
+// are atomic under it: either all of a Batch's writes are visible or none.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	s, err := db.eng.NewSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{s: s}, nil
+}
+
+// Seq reports the sequence this snapshot reads at.
+func (s *Snapshot) Seq() uint64 { return s.s.Seq() }
+
+// Close releases the snapshot. Safe to call twice.
+func (s *Snapshot) Close() { s.s.Close() }
+
+// Get returns the value of key as of the snapshot.
+func (s *Snapshot) Get(key []byte) (value []byte, ok bool, err error) { return s.s.Get(key) }
+
+// MultiGet resolves many keys as of the snapshot; semantics match
+// DB.MultiGet.
+func (s *Snapshot) MultiGet(keys [][]byte) ([]engine.GetResult, error) { return s.s.MultiGet(keys) }
+
+// Scan returns up to limit live pairs with start <= key < end as of the
+// snapshot.
+func (s *Snapshot) Scan(start, end []byte, limit int) ([]KV, error) {
+	return s.s.Scan(start, end, limit)
+}
+
+// NewIterator opens a streaming iterator over [start, end) at the snapshot's
+// sequence. The iterator holds its own pin and stays consistent even if the
+// snapshot is closed first.
+func (s *Snapshot) NewIterator(start, end []byte) (*engine.Iterator, error) {
+	return s.s.NewIterator(start, end)
+}
+
 // Flush forces all memtables to level-0 (mainly for tests and shutdown).
 func (db *DB) Flush() error { return db.eng.FlushAll() }
 
